@@ -1,0 +1,89 @@
+// Command experiments regenerates the tables and figures of the Spinner
+// paper's evaluation (§V) on synthetic dataset analogues.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (several minutes at default scale)
+//	experiments -exp table1         # one experiment
+//	experiments -exp fig7 -scale 50000 -seed 3
+//
+// Experiments: table1, table3, table4, fig3a, fig3b (alias of fig3), fig4,
+// fig5, fig6a, fig6b, fig6c, fig7, fig8, fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1|table3|table4|fig3a|fig3b|fig4|fig5|fig6a|fig6b|fig6c|fig7|fig8|fig9|all)")
+		scale   = flag.Int("scale", 20000, "vertex scale for dataset analogues")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "Pregel workers (0 = GOMAXPROCS)")
+		maxK    = flag.Int("maxk", 128, "largest k for the fig3 sweep")
+		runs    = flag.Int("runs", 3, "repetitions for fig5")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, Out: os.Stdout}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table3", "table4", "fig3a", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9"}
+	}
+	for _, id := range ids {
+		if err := runOne(id, cfg, *maxK, *runs); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func runOne(id string, cfg experiments.Config, maxK, runs int) error {
+	switch id {
+	case "table1":
+		_, err := experiments.Table1(cfg)
+		return err
+	case "table3":
+		_, err := experiments.Table3(cfg)
+		return err
+	case "table4":
+		_, err := experiments.Table4(cfg)
+		return err
+	case "fig3a", "fig3b", "fig3":
+		_, err := experiments.Fig3(cfg, maxK)
+		return err
+	case "fig4":
+		_, err := experiments.Fig4(cfg)
+		return err
+	case "fig5":
+		_, err := experiments.Fig5(cfg, runs)
+		return err
+	case "fig6a":
+		_, err := experiments.Fig6a(cfg, nil)
+		return err
+	case "fig6b":
+		_, err := experiments.Fig6b(cfg, nil)
+		return err
+	case "fig6c":
+		_, err := experiments.Fig6c(cfg, nil)
+		return err
+	case "fig7":
+		_, err := experiments.Fig7(cfg, nil)
+		return err
+	case "fig8":
+		_, err := experiments.Fig8(cfg, nil)
+		return err
+	case "fig9":
+		_, err := experiments.Fig9(cfg)
+		return err
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}

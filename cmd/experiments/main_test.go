@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunOneSmoke(t *testing.T) {
+	cfg := experiments.Config{Scale: 1500, Seed: 1, Workers: 2}
+	for _, id := range []string{"table3", "fig4"} {
+		if err := runOne(id, cfg, 8, 1); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nope", experiments.Config{Scale: 100}, 4, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestBuildModels(t *testing.T) {
+	cases := []struct {
+		model string
+		n     int
+	}{
+		{"ws", 200},
+		{"ba", 200},
+		{"er", 200},
+		{"rmat", 256},
+		{"plaw", 300},
+		{"dataset", 500},
+	}
+	for _, c := range cases {
+		g, err := build(c.model, c.n, 4, 0.3, 1.6, 50, "TU", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.model, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", c.model)
+		}
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := build("nope", 100, 4, 0.3, 1.6, 50, "TU", 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := build("ws", 300, 4, 0.3, 1.6, 50, "TU", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build("ws", 300, 4, 0.3, 1.6, 50, "TU", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic edge count")
+	}
+}

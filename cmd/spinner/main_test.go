@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// writeEdgeList writes a small test graph and returns its path.
+func writeEdgeList(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.txt")
+	var b strings.Builder
+	// Two dense 50-vertex pseudo-random clusters joined by one edge: LPA
+	// must recover the two communities.
+	for i := 0; i < 50; i++ {
+		for j := 1; j <= 8; j++ {
+			u := (i + j*j*7 + j*13) % 50
+			if u != i {
+				b.WriteString(formatEdge(i, u))
+				b.WriteString(formatEdge(50+i, 50+u))
+			}
+		}
+	}
+	b.WriteString(formatEdge(0, 50))
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func formatEdge(u, v int) string {
+	return strings.Join([]string{itoa(u), " ", itoa(v), "\n"}, "")
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var digits []byte
+	for x > 0 {
+		digits = append([]byte{byte('0' + x%10)}, digits...)
+		x /= 10
+	}
+	return string(digits)
+}
+
+func TestRunScratch(t *testing.T) {
+	in := writeEdgeList(t)
+	out := filepath.Join(t.TempDir(), "parts.txt")
+	if err := run(2, 1.05, 0.001, 5, 100, 1, 2, false, in, out, "", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	labels, err := graph.ReadPartitioning(f, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two rings are nearly disconnected; a 2-way split should separate
+	// them almost perfectly.
+	agree := 0
+	for v := 0; v < 50; v++ {
+		if labels[v] == labels[0] {
+			agree++
+		}
+		if labels[50+v] == labels[50] {
+			agree++
+		}
+	}
+	if agree < 90 {
+		t.Fatalf("ring separation weak: %d/100 vertices on their ring's side", agree)
+	}
+}
+
+func TestRunAdapt(t *testing.T) {
+	in := writeEdgeList(t)
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "parts1.txt")
+	if err := run(2, 1.05, 0.001, 5, 100, 1, 2, false, in, out1, "", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(dir, "parts2.txt")
+	if err := run(2, 1.05, 0.001, 5, 100, 1, 2, false, in, out2, out1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adapting an unchanged graph should barely move anything; with this
+	// tiny graph the outputs are usually identical.
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty outputs")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeEdgeList(t)
+	if err := run(0, 1.05, 0.001, 5, 100, 1, 2, false, in, "", "", 0, true); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := run(2, 1.05, 0.001, 5, 100, 1, 2, false, "/does/not/exist", "", "", 0, true); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run(2, 1.05, 0.001, 5, 100, 1, 2, false, in, "", "", 3, true); err == nil {
+		t.Fatal("-resize without -adapt accepted")
+	}
+	if err := run(2, 1.05, 0.001, 5, 100, 1, 2, false, in, "", "/does/not/exist", 0, true); err == nil {
+		t.Fatal("missing -adapt file accepted")
+	}
+}

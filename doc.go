@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Spinner: Scalable
+// Graph Partitioning in the Cloud" (Martella, Logothetis, Loukas, Siganos;
+// ICDE 2017 / arXiv:1404.3861).
+//
+// The primary contribution — the Spinner k-way balanced label-propagation
+// partitioner — lives in internal/core, built on a from-scratch
+// Pregel/Giraph BSP engine (internal/pregel). Baseline partitioners,
+// dataset analogues, analytical applications and a cluster cost model
+// complete the substrate needed to regenerate every table and figure of
+// the paper's evaluation; see DESIGN.md for the inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=Table1 -benchtime=1x
+//	go test -bench=. -benchmem
+//
+// or run the CLI: go run ./cmd/experiments -exp all.
+package repro

@@ -1,0 +1,95 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the basic flow: generate, partition, evaluate.
+func Example() {
+	g := repro.WattsStrogatz(2000, 8, 0.2, 1)
+	opts := repro.DefaultOptions(8)
+	opts.Seed = 1
+	p, err := repro.NewPartitioner(opts)
+	if err != nil {
+		panic(err)
+	}
+	res, err := p.Partition(g)
+	if err != nil {
+		panic(err)
+	}
+	w := repro.Convert(g)
+	fmt.Printf("k=%d converged=%v\n", res.K, res.Converged)
+	fmt.Printf("locality beats hash: %v\n", repro.Phi(w, res.Labels) > 1.0/8)
+	fmt.Printf("balanced: %v\n", repro.Rho(w, res.Labels, 8) < 1.15)
+	// Output:
+	// k=8 converged=true
+	// locality beats hash: true
+	// balanced: true
+}
+
+// ExamplePartitioner_Adapt shows incremental repartitioning after growth.
+func ExamplePartitioner_Adapt() {
+	g := repro.WattsStrogatz(2000, 8, 0.2, 2)
+	w := repro.Convert(g)
+	opts := repro.DefaultOptions(8)
+	opts.Seed = 2
+	p, _ := repro.NewPartitioner(opts)
+	base, err := p.PartitionWeighted(w)
+	if err != nil {
+		panic(err)
+	}
+
+	// The graph changes: a new vertex with three friendships appears.
+	nv := w.AddVertices(1)
+	mut := &repro.Mutation{}
+	for _, friend := range []repro.VertexID{10, 20, 30} {
+		mut.NewEdges = append(mut.NewEdges, repro.WeightedEdgeRecord{U: nv, V: friend, Weight: 2})
+	}
+	if _, err := mut.Apply(w); err != nil {
+		panic(err)
+	}
+
+	res, err := p.Adapt(w, base.Labels, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("labels cover new vertex: %v\n", len(res.Labels) == 2001)
+	fmt.Printf("stable: %v\n", repro.Difference(base.Labels, res.Labels[:2000]) < 0.2)
+	// Output:
+	// labels cover new vertex: true
+	// stable: true
+}
+
+// ExamplePartitioner_Resize shows elastic adaptation to more partitions.
+func ExamplePartitioner_Resize() {
+	g := repro.WattsStrogatz(2000, 8, 0.2, 3)
+	w := repro.Convert(g)
+	opts8 := repro.DefaultOptions(8)
+	opts8.Seed = 3
+	p8, _ := repro.NewPartitioner(opts8)
+	base, err := p8.PartitionWeighted(w)
+	if err != nil {
+		panic(err)
+	}
+
+	opts10 := repro.DefaultOptions(10)
+	opts10.Seed = 3
+	p10, _ := repro.NewPartitioner(opts10)
+	res, err := p10.Resize(w, base.Labels, 8)
+	if err != nil {
+		panic(err)
+	}
+	maxLabel := int32(0)
+	for _, l := range res.Labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	fmt.Printf("new partitions in use: %v\n", maxLabel >= 8)
+	fmt.Printf("still balanced: %v\n", repro.Rho(w, res.Labels, 10) < 1.2)
+	// Output:
+	// new partitions in use: true
+	// still balanced: true
+}

@@ -1,0 +1,70 @@
+// Elastic scale-out: adapt a partitioning when the cluster grows, the
+// scenario of §III-E / Fig. 8 of the paper.
+//
+// A graph partitioned across 32 machines must spread onto 40 after a
+// scale-out. Spinner relabels each vertex to a new partition with
+// probability n/(k+n) (Eq. 11) and repairs locality incrementally, instead
+// of reshuffling everything from scratch.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const oldK, newK = 32, 40
+	g := gen.Load(gen.FriendsterLike, 20000, 11)
+	w := graph.Convert(g)
+	fmt.Printf("graph: %d vertices, %d edges, partitioned across %d machines\n",
+		w.NumVertices(), w.NumEdges(), oldK)
+
+	p32, err := core.NewPartitioner(core.DefaultOptions(oldK))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := p32.PartitionWeighted(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before scale-out: φ=%.3f ρ=%.3f\n\n",
+		metrics.Phi(w, base.Labels), metrics.Rho(w, base.Labels, oldK))
+
+	fmt.Printf("scaling out to %d machines...\n", newK)
+	p40, err := core.NewPartitioner(core.DefaultOptions(newK))
+	if err != nil {
+		log.Fatal(err)
+	}
+	elastic, err := p40.Resize(w, base.Labels, oldK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scratch, err := p40.PartitionWeighted(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loads := metrics.Loads(w, elastic.Labels, newK)
+	var newLoad, total int64
+	for l, b := range loads {
+		total += b
+		if l >= oldK {
+			newLoad += b
+		}
+	}
+	fmt.Printf("  elastic:      φ=%.3f ρ=%.3f  %2d iterations  moved %4.1f%% of vertices\n",
+		metrics.Phi(w, elastic.Labels), metrics.Rho(w, elastic.Labels, newK),
+		elastic.Iterations, 100*metrics.Difference(base.Labels, elastic.Labels))
+	fmt.Printf("  from scratch: φ=%.3f ρ=%.3f  %2d iterations  moved %4.1f%% of vertices\n",
+		metrics.Phi(w, scratch.Labels), metrics.Rho(w, scratch.Labels, newK),
+		scratch.Iterations, 100*metrics.Difference(base.Labels, scratch.Labels))
+	fmt.Printf("  the %d new machines now hold %.1f%% of the load (ideal %.1f%%)\n",
+		newK-oldK, 100*float64(newLoad)/float64(total), 100*float64(newK-oldK)/float64(newK))
+}

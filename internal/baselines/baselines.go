@@ -1,0 +1,81 @@
+// Package baselines implements the partitioners Spinner is compared against
+// in the paper's evaluation (Table I and Fig. 3b):
+//
+//   - Hash: the de-facto standard hash partitioning that Spinner aims to
+//     replace (§I, §V-F);
+//   - Random: seeded uniform assignment (the paper's "random partitioning"
+//     starting point, Fig. 4);
+//   - LDG: the streaming linear deterministic greedy heuristic of Stanton
+//     & Kliot (KDD 2012), vertex-balanced;
+//   - Fennel: the streaming partitioner of Tsourakakis et al. (WSDM 2014)
+//     with the γ = 1.5 objective;
+//   - Multilevel: a from-scratch METIS-style multilevel partitioner
+//     (heavy-edge matching, greedy growing, boundary FM refinement),
+//     standing in for the sequential METIS binary;
+//   - LPACoarsen: an analogue of Wang et al. (ICDE 2014): label-propagation
+//     coarsening followed by multilevel partitioning of the contracted
+//     graph.
+//
+// Every implementation is deterministic given its seed, balances on edges
+// (weighted degree) except LDG which is vertex-balanced exactly as
+// published — the paper calls out that this is why Stanton et al. shows
+// higher ρ in Table I.
+package baselines
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Partitioner assigns each vertex of a weighted undirected graph one of k
+// labels.
+type Partitioner interface {
+	// Name identifies the approach in experiment output.
+	Name() string
+	// Partition returns a labeling of w into k parts.
+	Partition(w *graph.Weighted, k int) []int32
+}
+
+// Hash is modulo-hash partitioning: label(v) = h(v) mod k. It is the
+// baseline every system falls back to and the comparison target of
+// Fig. 3(b), Fig. 9 and Table IV.
+type Hash struct{}
+
+// Name implements Partitioner.
+func (Hash) Name() string { return "Hash" }
+
+// Partition implements Partitioner.
+func (Hash) Partition(w *graph.Weighted, k int) []int32 {
+	labels := make([]int32, w.NumVertices())
+	for v := range labels {
+		labels[v] = int32(hash64(uint64(v)) % uint64(k))
+	}
+	return labels
+}
+
+// hash64 is a splitmix64-style finalizer, a good integer hash.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Random assigns labels uniformly at random (seeded).
+type Random struct {
+	// Seed drives the assignment; the zero value is a valid seed.
+	Seed uint64
+}
+
+// Name implements Partitioner.
+func (Random) Name() string { return "Random" }
+
+// Partition implements Partitioner.
+func (r Random) Partition(w *graph.Weighted, k int) []int32 {
+	src := rng.New(r.Seed)
+	labels := make([]int32, w.NumVertices())
+	for v := range labels {
+		labels[v] = int32(src.Intn(k))
+	}
+	return labels
+}

@@ -1,0 +1,247 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+var allPartitioners = []Partitioner{
+	Hash{},
+	Random{Seed: 1},
+	LDG{Seed: 1},
+	Fennel{Seed: 1},
+	Multilevel{Seed: 1},
+	LPACoarsen{Seed: 1},
+}
+
+func testGraph() *graph.Weighted {
+	return graph.Convert(gen.WattsStrogatz(2000, 8, 0.2, 99))
+}
+
+func TestAllProduceValidLabels(t *testing.T) {
+	w := testGraph()
+	for _, p := range allPartitioners {
+		for _, k := range []int{1, 2, 7, 16} {
+			labels := p.Partition(w, k)
+			if len(labels) != w.NumVertices() {
+				t.Fatalf("%s k=%d: %d labels", p.Name(), k, len(labels))
+			}
+			if err := metrics.ValidateLabels(labels, k); err != nil {
+				t.Fatalf("%s k=%d: %v", p.Name(), k, err)
+			}
+		}
+	}
+}
+
+func TestAllDeterministic(t *testing.T) {
+	w := testGraph()
+	for _, p := range allPartitioners {
+		a := p.Partition(w, 8)
+		b := p.Partition(w, 8)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s nondeterministic at vertex %d", p.Name(), i)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range allPartitioners {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Fatalf("bad or duplicate name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+func TestHashUniform(t *testing.T) {
+	w := graph.NewWeighted(10000)
+	labels := Hash{}.Partition(w, 10)
+	counts := make([]int, 10)
+	for _, l := range labels {
+		counts[l]++
+	}
+	for l, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("hash bucket %d has %d vertices, want ~1000", l, c)
+		}
+	}
+}
+
+func TestHashLocalityIsRandomLevel(t *testing.T) {
+	// Hash partitioning gives φ ≈ 1/k.
+	w := testGraph()
+	phi := metrics.Phi(w, Hash{}.Partition(w, 8))
+	if phi < 0.08 || phi > 0.18 {
+		t.Fatalf("hash phi=%.3f, want ~1/8", phi)
+	}
+}
+
+func TestLDGBetterThanHash(t *testing.T) {
+	w := testGraph()
+	phiLDG := metrics.Phi(w, LDG{Seed: 3}.Partition(w, 8))
+	phiHash := metrics.Phi(w, Hash{}.Partition(w, 8))
+	if phiLDG <= phiHash {
+		t.Fatalf("LDG phi=%.3f not better than hash %.3f", phiLDG, phiHash)
+	}
+}
+
+func TestLDGVertexBalance(t *testing.T) {
+	w := testGraph()
+	labels := LDG{Seed: 3}.Partition(w, 8)
+	counts := make([]int, 8)
+	for _, l := range labels {
+		counts[l]++
+	}
+	target := w.NumVertices() / 8
+	for l, c := range counts {
+		if float64(c) > 1.2*float64(target) {
+			t.Fatalf("LDG partition %d has %d vertices (target %d)", l, c, target)
+		}
+	}
+}
+
+func TestFennelBetterThanHashAndBounded(t *testing.T) {
+	w := testGraph()
+	labels := Fennel{Seed: 5}.Partition(w, 8)
+	phi := metrics.Phi(w, labels)
+	phiHash := metrics.Phi(w, Hash{}.Partition(w, 8))
+	if phi <= phiHash {
+		t.Fatalf("Fennel phi=%.3f not better than hash %.3f", phi, phiHash)
+	}
+	counts := make([]int, 8)
+	for _, l := range labels {
+		counts[l]++
+	}
+	bound := 1.1 * float64(w.NumVertices()) / 8
+	for l, c := range counts {
+		if float64(c) > bound+1 {
+			t.Fatalf("Fennel partition %d has %d vertices, bound %.0f", l, c, bound)
+		}
+	}
+}
+
+func TestMultilevelQuality(t *testing.T) {
+	// On a planted-community graph the multilevel partitioner should
+	// essentially recover the communities.
+	g, _ := gen.PlantedPartition(2000, 4, 14, 2, 7)
+	w := graph.Convert(g)
+	labels := Multilevel{Seed: 7}.Partition(w, 4)
+	phi := metrics.Phi(w, labels)
+	rho := metrics.Rho(w, labels, 4)
+	if phi < 0.75 {
+		t.Fatalf("multilevel phi=%.3f on planted graph", phi)
+	}
+	if rho > 1.10 {
+		t.Fatalf("multilevel rho=%.3f, want near 1.03", rho)
+	}
+}
+
+func TestMultilevelBalanceBound(t *testing.T) {
+	w := testGraph()
+	for _, k := range []int{4, 16} {
+		labels := Multilevel{Seed: 9}.Partition(w, k)
+		if rho := metrics.Rho(w, labels, k); rho > 1.12 {
+			t.Fatalf("k=%d rho=%.3f, exceeds imbalance", k, rho)
+		}
+	}
+}
+
+func TestMultilevelBeatsStreaming(t *testing.T) {
+	// Table I ordering: METIS produces the best (or near-best) locality.
+	w := testGraph()
+	phiML := metrics.Phi(w, Multilevel{Seed: 11}.Partition(w, 8))
+	phiLDG := metrics.Phi(w, LDG{Seed: 11}.Partition(w, 8))
+	if phiML <= phiLDG {
+		t.Fatalf("multilevel phi=%.3f not better than LDG %.3f", phiML, phiLDG)
+	}
+}
+
+func TestMultilevelK1(t *testing.T) {
+	w := testGraph()
+	labels := Multilevel{Seed: 1}.Partition(w, 1)
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("k=1 nonzero label")
+		}
+	}
+}
+
+func TestMultilevelEmptyGraph(t *testing.T) {
+	w := graph.NewWeighted(0)
+	if got := (Multilevel{}).Partition(w, 4); len(got) != 0 {
+		t.Fatal("empty graph labels")
+	}
+}
+
+func TestMultilevelDisconnected(t *testing.T) {
+	// Several components; region growing must still cover everything.
+	w := graph.NewWeighted(300)
+	for c := 0; c < 3; c++ {
+		base := graph.VertexID(c * 100)
+		for i := 0; i < 99; i++ {
+			w.AddEdge(base+graph.VertexID(i), base+graph.VertexID(i+1), 1)
+		}
+	}
+	labels := Multilevel{Seed: 13}.Partition(w, 3)
+	if err := metrics.ValidateLabels(labels, 3); err != nil {
+		t.Fatal(err)
+	}
+	if rho := metrics.Rho(w, labels, 3); rho > 1.25 {
+		t.Fatalf("disconnected rho=%.3f", rho)
+	}
+}
+
+func TestLPACoarsenQuality(t *testing.T) {
+	g, _ := gen.PlantedPartition(2000, 4, 14, 2, 17)
+	w := graph.Convert(g)
+	labels := LPACoarsen{Seed: 17}.Partition(w, 4)
+	phi := metrics.Phi(w, labels)
+	phiHash := metrics.Phi(w, Hash{}.Partition(w, 4))
+	if phi <= phiHash {
+		t.Fatalf("LPACoarsen phi=%.3f not better than hash %.3f", phi, phiHash)
+	}
+}
+
+func TestLPACoarsenVertexBalanced(t *testing.T) {
+	w := testGraph()
+	labels := LPACoarsen{Seed: 19}.Partition(w, 8)
+	counts := make([]int, 8)
+	for _, l := range labels {
+		counts[l]++
+	}
+	target := float64(w.NumVertices()) / 8
+	for l, c := range counts {
+		if float64(c) > 1.6*target {
+			t.Fatalf("LPACoarsen partition %d has %d vertices (target %.0f)", l, c, target)
+		}
+	}
+}
+
+// Property: every partitioner yields complete valid labelings on arbitrary
+// graphs.
+func TestAllPartitionersProperty(t *testing.T) {
+	f := func(seed uint16, kRaw uint8) bool {
+		k := int(kRaw%6) + 1
+		s := rng.New(uint64(seed))
+		n := 30 + s.Intn(120)
+		w := graph.Convert(gen.ErdosRenyi(n, int64(3*n), true, uint64(seed)))
+		for _, p := range []Partitioner{Hash{}, Random{Seed: uint64(seed)}, LDG{Seed: uint64(seed)}, Fennel{Seed: uint64(seed)}, Multilevel{Seed: uint64(seed)}, LPACoarsen{Seed: uint64(seed)}} {
+			labels := p.Partition(w, k)
+			if len(labels) != n || metrics.ValidateLabels(labels, k) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Restreamer is a partitioner that can incorporate a previous assignment —
+// the "restreaming" model of Nishimura & Ugander (KDD 2013), cited by the
+// paper (§VI, [19]) as the streaming world's answer to adaptivity. It is
+// the natural baseline for Spinner's incremental mode: both repartition a
+// changed graph starting from the previous state.
+type Restreamer interface {
+	// Name identifies the approach in experiment output.
+	Name() string
+	// Restream produces a labeling of w into k parts, given the previous
+	// labeling (entries beyond len(prev) are new vertices). A nil prev is
+	// a cold start.
+	Restream(w *graph.Weighted, k int, prev []int32) []int32
+}
+
+// ReLDG is restreaming LDG: vertices stream in a fixed order; each is
+// placed by the LDG objective where neighbors not yet re-assigned in this
+// pass contribute via their previous-pass label.
+type ReLDG struct {
+	// Seed fixes the stream order (the same order every pass, as
+	// published).
+	Seed uint64
+	// Passes is the number of restreaming sweeps (default 3).
+	Passes int
+	// Slack is the vertex-capacity multiplier (default 1.0).
+	Slack float64
+}
+
+// Name implements Restreamer.
+func (ReLDG) Name() string { return "ReLDG" }
+
+// Restream implements Restreamer.
+func (r ReLDG) Restream(w *graph.Weighted, k int, prev []int32) []int32 {
+	passes := r.Passes
+	if passes <= 0 {
+		passes = 3
+	}
+	slack := r.Slack
+	if slack <= 0 {
+		slack = 1.0
+	}
+	n := w.NumVertices()
+	capacity := slack * float64(n) / float64(k)
+	labels := coldStart(n, k, prev, r.Seed)
+	order := rng.New(r.Seed).Perm(n)
+	counts := make([]float64, k)
+	for pass := 0; pass < passes; pass++ {
+		sizes := make([]float64, k)
+		for _, vi := range order {
+			v := graph.VertexID(vi)
+			for i := range counts {
+				counts[i] = 0
+			}
+			for _, a := range w.Neighbors(v) {
+				counts[labels[a.To]] += float64(a.Weight)
+			}
+			best, bestScore := labels[v], math.Inf(-1)
+			for l := 0; l < k; l++ {
+				penalty := 1 - sizes[l]/capacity
+				if penalty < 0 {
+					penalty = 0
+				}
+				s := counts[l] * penalty
+				if s > bestScore || (s == bestScore && int32(l) == labels[v]) {
+					best, bestScore = int32(l), s
+				}
+			}
+			labels[v] = best
+			sizes[best]++
+		}
+	}
+	return labels
+}
+
+// ReFennel is restreaming Fennel with a per-pass tightening of the balance
+// weight (α grows geometrically each pass, as Nishimura & Ugander suggest
+// to force convergence toward balance).
+type ReFennel struct {
+	// Seed fixes the stream order.
+	Seed uint64
+	// Passes is the number of sweeps (default 3).
+	Passes int
+	// Gamma is the objective exponent (default 1.5).
+	Gamma float64
+	// AlphaGrowth multiplies α each pass (default 1.5).
+	AlphaGrowth float64
+}
+
+// Name implements Restreamer.
+func (ReFennel) Name() string { return "ReFennel" }
+
+// Restream implements Restreamer.
+func (r ReFennel) Restream(w *graph.Weighted, k int, prev []int32) []int32 {
+	passes := r.Passes
+	if passes <= 0 {
+		passes = 3
+	}
+	gamma := r.Gamma
+	if gamma == 0 {
+		gamma = 1.5
+	}
+	growth := r.AlphaGrowth
+	if growth <= 0 {
+		growth = 1.5
+	}
+	n := w.NumVertices()
+	m := float64(w.NumEdges())
+	alpha := math.Sqrt(float64(k)) * m / math.Pow(float64(n), 1.5)
+	labels := coldStart(n, k, prev, r.Seed)
+	order := rng.New(r.Seed).Perm(n)
+	counts := make([]float64, k)
+	for pass := 0; pass < passes; pass++ {
+		sizes := make([]float64, k)
+		for _, vi := range order {
+			v := graph.VertexID(vi)
+			for i := range counts {
+				counts[i] = 0
+			}
+			for _, a := range w.Neighbors(v) {
+				counts[labels[a.To]] += float64(a.Weight)
+			}
+			best, bestScore := labels[v], math.Inf(-1)
+			for l := 0; l < k; l++ {
+				s := counts[l] - alpha*gamma*math.Pow(sizes[l], gamma-1)
+				if s > bestScore || (s == bestScore && int32(l) == labels[v]) {
+					best, bestScore = int32(l), s
+				}
+			}
+			labels[v] = best
+			sizes[best]++
+		}
+		alpha *= growth
+	}
+	return labels
+}
+
+// coldStart extends prev to n entries, assigning unknown vertices randomly.
+func coldStart(n, k int, prev []int32, seed uint64) []int32 {
+	labels := make([]int32, n)
+	src := rng.New(seed ^ 0x5eed)
+	for v := 0; v < n; v++ {
+		if v < len(prev) && prev[v] >= 0 && int(prev[v]) < k {
+			labels[v] = prev[v]
+		} else {
+			labels[v] = int32(src.Intn(k))
+		}
+	}
+	return labels
+}

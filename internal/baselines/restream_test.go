@@ -1,0 +1,107 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func TestRestreamColdStartValid(t *testing.T) {
+	w := testGraph()
+	for _, r := range []Restreamer{ReLDG{Seed: 1}, ReFennel{Seed: 1}} {
+		labels := r.Restream(w, 8, nil)
+		if err := metrics.ValidateLabels(labels, 8); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestRestreamImprovesOverSinglePass(t *testing.T) {
+	// Multiple restreaming passes must beat one-pass streaming locality.
+	w := testGraph()
+	single := metrics.Phi(w, LDG{Seed: 3}.Partition(w, 8))
+	multi := metrics.Phi(w, ReLDG{Seed: 3, Passes: 4}.Restream(w, 8, nil))
+	if multi <= single {
+		t.Fatalf("restreaming phi=%.3f not better than single pass %.3f", multi, single)
+	}
+}
+
+func TestRestreamWarmStartIsStable(t *testing.T) {
+	// Re-partitioning from a good previous state must move few vertices.
+	g, truth := gen.PlantedPartition(2000, 4, 12, 2, 31)
+	w := graph.Convert(g)
+	for _, r := range []Restreamer{ReLDG{Seed: 5, Passes: 1}, ReFennel{Seed: 5, Passes: 1}} {
+		labels := r.Restream(w, 4, truth)
+		if d := metrics.Difference(truth, labels); d > 0.25 {
+			t.Fatalf("%s moved %.0f%% from a near-optimal start", r.Name(), 100*d)
+		}
+		if phi := metrics.Phi(w, labels); phi < 0.7 {
+			t.Fatalf("%s destroyed locality: phi=%.3f", r.Name(), phi)
+		}
+	}
+}
+
+func TestRestreamHandlesNewVertices(t *testing.T) {
+	w := testGraph()
+	prev := ReLDG{Seed: 7}.Restream(w, 4, nil)
+	grown := w.Clone()
+	grown.AddVertices(100)
+	for i := 0; i < 100; i++ {
+		grown.AddEdge(graph.VertexID(2000+i), graph.VertexID(i*13%2000), 2)
+	}
+	labels := ReLDG{Seed: 7}.Restream(grown, 4, prev)
+	if len(labels) != 2100 {
+		t.Fatalf("labels=%d", len(labels))
+	}
+	if err := metrics.ValidateLabels(labels, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestreamDeterministic(t *testing.T) {
+	w := testGraph()
+	for _, r := range []Restreamer{ReLDG{Seed: 11}, ReFennel{Seed: 11}} {
+		a := r.Restream(w, 8, nil)
+		b := r.Restream(w, 8, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s nondeterministic", r.Name())
+			}
+		}
+	}
+}
+
+func TestRestreamRejectsBadPrevLabels(t *testing.T) {
+	// Out-of-range previous labels are treated as cold vertices rather than
+	// propagated.
+	w := graph.NewWeighted(4)
+	w.AddEdge(0, 1, 1)
+	w.AddEdge(2, 3, 1)
+	labels := ReLDG{Seed: 13}.Restream(w, 2, []int32{-1, 5, 0, 1})
+	if err := metrics.ValidateLabels(labels, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Spinner's incremental mode and restreaming solve the same problem; on a
+// growth workload Spinner should be at least as stable (it migrates only
+// score-improving vertices, while restreaming re-places everything).
+func TestSpinnerAdaptVsRestreamStability(t *testing.T) {
+	g := gen.WattsStrogatz(3000, 8, 0.2, 37)
+	w := graph.Convert(g)
+	base := ReLDG{Seed: 17, Passes: 4}.Restream(w, 8, nil)
+
+	grown := w.Clone()
+	mut := gen.GrowthBatch(grown, 0.02, 39)
+	if _, err := mut.Apply(grown); err != nil {
+		t.Fatal(err)
+	}
+	relabeled := ReLDG{Seed: 17, Passes: 1}.Restream(grown, 8, base)
+	moved := metrics.Difference(base, relabeled[:len(base)])
+	t.Logf("restreaming moved %.1f%% after 2%% growth", 100*moved)
+	if err := metrics.ValidateLabels(relabeled, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the empirical side of the paper's convergence theory
+// (§III-C and Appendix A). Proposition 1 states that when the partition
+// graph — one node per label, an edge when load flows between two labels —
+// is B-connected, Spinner's load vector x_t converges exponentially fast to
+// the even balancing x* = [T/k … T/k]. The helpers below extract the load
+// trajectory from a Result's history and quantify the convergence, and the
+// tests in analysis_test.go verify the exponential-decay shape on real
+// runs.
+
+// BalanceError returns ‖x_t − x*‖∞ / ‖x*‖∞ for one iteration's load
+// vector: the relative distance of the loads from the even balancing.
+// Zero means perfectly balanced.
+func BalanceError(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, b := range loads {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	ideal := total / float64(len(loads))
+	maxDev := 0.0
+	for _, b := range loads {
+		if d := math.Abs(b - ideal); d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev / ideal
+}
+
+// BalanceTrajectory returns the per-iteration balance error of a run.
+func BalanceTrajectory(r *Result) []float64 {
+	out := make([]float64, 0, len(r.History))
+	for _, it := range r.History {
+		out = append(out, BalanceError(it.Loads))
+	}
+	return out
+}
+
+// DecayRate fits an exponential err_t ≈ q·μ^t to the (positive prefix of
+// the) trajectory by least squares in log space and returns μ. A μ in
+// (0, 1) confirms Proposition 1's exponential convergence; μ ≥ 1 indicates
+// the balance is not contracting (e.g. it already started at the floor).
+// An error is returned when fewer than three positive samples exist.
+func DecayRate(traj []float64) (mu float64, err error) {
+	// Use only the prefix before the error bottoms out (the probabilistic
+	// migrations leave a noise floor around the granularity limit).
+	floor := 1e-12
+	var xs, ys []float64
+	for t, e := range traj {
+		if e <= floor {
+			break
+		}
+		xs = append(xs, float64(t))
+		ys = append(ys, math.Log(e))
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("core: trajectory has %d usable samples, need >= 3", len(xs))
+	}
+	// Least squares slope of log(err) over t.
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, fmt.Errorf("core: degenerate trajectory")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return math.Exp(slope), nil
+}
+
+// PartitionGraphConnected reports whether load moved between every pair of
+// partitions somewhere in a window of iterations — a practical proxy for
+// the B-connectivity premise of Proposition 1. It compares consecutive
+// load vectors: any pair (i, j) where i lost load while j gained within the
+// same iteration is counted as a potential flow edge; the union over the
+// window must make the partition graph connected (weakly, as flows are
+// symmetric opportunities in Spinner).
+func PartitionGraphConnected(r *Result, from, to int) bool {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(r.History) {
+		to = len(r.History)
+	}
+	if to-from < 2 {
+		return false
+	}
+	k := len(r.History[from].Loads)
+	adj := make([][]bool, k)
+	for i := range adj {
+		adj[i] = make([]bool, k)
+	}
+	for t := from + 1; t < to; t++ {
+		prev, cur := r.History[t-1].Loads, r.History[t].Loads
+		var losers, gainers []int
+		for l := 0; l < k; l++ {
+			switch {
+			case cur[l] < prev[l]:
+				losers = append(losers, l)
+			case cur[l] > prev[l]:
+				gainers = append(gainers, l)
+			}
+		}
+		for _, i := range losers {
+			for _, j := range gainers {
+				adj[i][j], adj[j][i] = true, true
+			}
+		}
+	}
+	// BFS over the union graph.
+	seen := make([]bool, k)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < k; v++ {
+			if adj[u][v] && !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == k
+}

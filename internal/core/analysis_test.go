@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBalanceError(t *testing.T) {
+	if BalanceError([]float64{10, 10, 10}) != 0 {
+		t.Fatal("balanced vector has nonzero error")
+	}
+	// [20, 10, 0]: ideal 10, max deviation 10 → error 1.
+	if got := BalanceError([]float64{20, 10, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("error=%v, want 1", got)
+	}
+	if BalanceError(nil) != 0 || BalanceError([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate vectors should have zero error")
+	}
+}
+
+// Proposition 1, empirically: starting from an unbalanced random state the
+// balance error must contract exponentially (fitted μ < 1) until it hits
+// the probabilistic noise floor.
+func TestBalanceConvergesExponentially(t *testing.T) {
+	// Proposition 1's setting: start far from the even balancing and watch
+	// the load vector contract. A uniform-degree graph keeps the noise
+	// floor near zero; the skewed start packs 60% of the vertices onto
+	// partition 0.
+	g := gen.WattsStrogatz(4000, 10, 0.3, 501)
+	w := graph.Convert(g)
+	const k = 8
+	skewed := make([]int32, 4000)
+	for v := range skewed {
+		if v%10 < 6 {
+			skewed[v] = 0
+		} else {
+			skewed[v] = int32(1 + v%(k-1))
+		}
+	}
+	opts := DefaultOptions(k)
+	opts.Seed = 503
+	opts.W = 1000 // run to MaxIterations so the trajectory is long
+	opts.MaxIterations = 30
+	res, err := mustPartitioner(t, opts).Adapt(w, skewed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := BalanceTrajectory(res)
+	if len(traj) != res.Iterations {
+		t.Fatalf("trajectory length %d != iterations %d", len(traj), res.Iterations)
+	}
+	// The early error must dominate the late error.
+	early := (traj[0] + traj[1] + traj[2]) / 3
+	n := len(traj)
+	late := (traj[n-1] + traj[n-2] + traj[n-3]) / 3
+	if late >= early {
+		t.Fatalf("balance error did not contract: early=%.4f late=%.4f", early, late)
+	}
+	// Fit over the contracting prefix (first 10 iterations).
+	mu, err := DecayRate(traj[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu >= 1 {
+		t.Fatalf("fitted decay rate μ=%.3f, want < 1 (exponential contraction)", mu)
+	}
+	t.Logf("balance error %.4f → %.4f, fitted μ=%.3f", early, late, mu)
+}
+
+func TestDecayRateErrors(t *testing.T) {
+	if _, err := DecayRate([]float64{0.5}); err == nil {
+		t.Fatal("short trajectory accepted")
+	}
+	if _, err := DecayRate([]float64{0, 0, 0, 0}); err == nil {
+		t.Fatal("all-zero trajectory accepted")
+	}
+}
+
+func TestDecayRateKnownSeries(t *testing.T) {
+	// err_t = 0.8^t exactly.
+	traj := make([]float64, 12)
+	for t0 := range traj {
+		traj[t0] = math.Pow(0.8, float64(t0))
+	}
+	mu, err := DecayRate(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-0.8) > 1e-9 {
+		t.Fatalf("μ=%v, want 0.8", mu)
+	}
+}
+
+func TestPartitionGraphConnected(t *testing.T) {
+	g := gen.WattsStrogatz(3000, 8, 0.3, 507)
+	w := graph.Convert(g)
+	opts := DefaultOptions(8)
+	opts.Seed = 509
+	opts.W = 1000
+	opts.MaxIterations = 15
+	res, err := mustPartitioner(t, opts).PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During the active phase every partition exchanges load with the rest:
+	// the B-connectivity premise of Proposition 1 holds in practice.
+	if !PartitionGraphConnected(res, 0, res.Iterations) {
+		t.Fatal("partition graph not connected over the run")
+	}
+	// Degenerate windows.
+	if PartitionGraphConnected(res, 0, 1) {
+		t.Fatal("single-iteration window reported connected")
+	}
+}

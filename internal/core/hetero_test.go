@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func TestCapacityFractionsValidation(t *testing.T) {
+	if _, err := NewPartitioner(Options{K: 3, CapacityFractions: []float64{0.5, 0.5}}); err == nil {
+		t.Fatal("wrong-length fractions accepted")
+	}
+	if _, err := NewPartitioner(Options{K: 2, CapacityFractions: []float64{1, 0}}); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := NewPartitioner(Options{K: 2, CapacityFractions: []float64{-1, 2}}); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	// Unnormalized fractions are normalized.
+	p, err := NewPartitioner(Options{K: 2, CapacityFractions: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Options().CapacityFractions
+	if math.Abs(f[0]-0.5) > 1e-12 || math.Abs(f[1]-0.5) > 1e-12 {
+		t.Fatalf("fractions not normalized: %v", f)
+	}
+}
+
+func TestHeterogeneousCapacitiesShapeLoads(t *testing.T) {
+	// A 4-way split where partition 0 is a double-size machine: it should
+	// attract roughly 40% of the load, the rest ~20% each.
+	g := gen.WattsStrogatz(4000, 10, 0.3, 301)
+	w := graph.Convert(g)
+	fractions := []float64{0.4, 0.2, 0.2, 0.2}
+	opts := DefaultOptions(4)
+	opts.Seed = 303
+	opts.CapacityFractions = fractions
+	res, err := mustPartitioner(t, opts).PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := metrics.Loads(w, res.Labels, 4)
+	var total int64
+	for _, b := range loads {
+		total += b
+	}
+	share0 := float64(loads[0]) / float64(total)
+	if share0 < 0.30 || share0 > 0.45 {
+		t.Fatalf("big partition holds %.0f%% of load, want ~40%%", 100*share0)
+	}
+	for l := 1; l < 4; l++ {
+		share := float64(loads[l]) / float64(total)
+		if share < 0.12 || share > 0.28 {
+			t.Fatalf("partition %d holds %.0f%% of load, want ~20%%", l, 100*share)
+		}
+	}
+	// Weighted balance near c.
+	if rho := metrics.RhoWeighted(w, res.Labels, fractions); rho > 1.15 {
+		t.Fatalf("weighted rho=%.3f", rho)
+	}
+}
+
+func TestHeterogeneousLocalityStillGood(t *testing.T) {
+	g, _ := gen.PlantedPartition(2000, 4, 12, 2, 307)
+	w := graph.Convert(g)
+	opts := DefaultOptions(4)
+	opts.Seed = 311
+	opts.CapacityFractions = []float64{0.34, 0.22, 0.22, 0.22}
+	res, err := mustPartitioner(t, opts).PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi := metrics.Phi(w, res.Labels); phi < 0.55 {
+		t.Fatalf("heterogeneous phi=%.3f", phi)
+	}
+}
+
+func TestRhoWeightedUniformMatchesRho(t *testing.T) {
+	g := gen.ErdosRenyi(300, 900, true, 313)
+	w := graph.Convert(g)
+	labels := make([]int32, 300)
+	for i := range labels {
+		labels[i] = int32(i % 4)
+	}
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	a := metrics.Rho(w, labels, 4)
+	b := metrics.RhoWeighted(w, labels, uniform)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("RhoWeighted(uniform)=%v != Rho=%v", b, a)
+	}
+}
+
+func TestRhoWeightedEmpty(t *testing.T) {
+	w := graph.NewWeighted(4)
+	if metrics.RhoWeighted(w, make([]int32, 4), []float64{0.5, 0.5}) != 1 {
+		t.Fatal("edgeless weighted rho != 1")
+	}
+}
+
+// TestHoeffdingBound empirically validates Proposition 3: the probability
+// that a partition's post-migration load exceeds C + ε·r(l) decays with the
+// number of migrating vertices. We run many independent migration rounds
+// and check the violation frequency stays below the analytic bound.
+func TestHoeffdingBound(t *testing.T) {
+	g := gen.WattsStrogatz(3000, 8, 0.3, 317)
+	w := graph.Convert(g)
+	const k = 8
+	violations, trials := 0, 0
+	for seed := uint64(0); seed < 12; seed++ {
+		opts := DefaultOptions(k)
+		opts.Seed = 317 + seed
+		opts.MaxIterations = 20
+		opts.W = 1000 // don't halt early; we want many migration rounds
+		res, err := mustPartitioner(t, opts).PartitionWeighted(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capBound := opts.C * 1.10 // C plus ε r(l) slack with ε generous
+		for _, it := range res.History {
+			trials++
+			if it.Rho > capBound {
+				violations++
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no trials")
+	}
+	frac := float64(violations) / float64(trials)
+	// Prop. 3 bounds each round's violation probability well below 1; with
+	// the generous ε the empirical frequency must be small.
+	if frac > 0.05 {
+		t.Fatalf("capacity exceeded in %.1f%% of iterations (bound ~5%%)", 100*frac)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// seedNewVertices assigns labels to vertices init[firstNew:] by repeatedly
+// placing each new vertex on the currently least-loaded partition (§III-D:
+// "we initially assign them to the least loaded partition, to ensure we do
+// not violate the balance constraint"). Loads are measured in weighted
+// degree, consistent with b(l), and updated greedily as vertices are
+// placed.
+func seedNewVertices(w *graph.Weighted, init []int32, firstNew, k int) {
+	if firstNew >= len(init) {
+		return
+	}
+	loads := make([]float64, k)
+	for v := 0; v < firstNew; v++ {
+		loads[init[v]] += float64(w.WeightedDegree(graph.VertexID(v)))
+	}
+	// A heap keeps placement O(log k) per vertex even for large k.
+	h := &loadHeap{}
+	for l := 0; l < k; l++ {
+		h.items = append(h.items, loadItem{label: int32(l), load: loads[l]})
+	}
+	heap.Init(h)
+	for v := firstNew; v < len(init); v++ {
+		it := h.items[0]
+		init[v] = it.label
+		it.load += float64(w.WeightedDegree(graph.VertexID(v))) + 1 // +1 spreads degree-0 newcomers
+		h.items[0] = it
+		heap.Fix(h, 0)
+	}
+}
+
+type loadItem struct {
+	label int32
+	load  float64
+}
+
+type loadHeap struct{ items []loadItem }
+
+func (h *loadHeap) Len() int { return len(h.items) }
+func (h *loadHeap) Less(i, j int) bool {
+	if h.items[i].load != h.items[j].load {
+		return h.items[i].load < h.items[j].load
+	}
+	return h.items[i].label < h.items[j].label
+}
+func (h *loadHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *loadHeap) Push(x any)    { h.items = append(h.items, x.(loadItem)) }
+func (h *loadHeap) Pop() any {
+	x := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return x
+}
+
+// elasticRelabel implements §III-E. Growing from oldK to newK partitions:
+// every vertex independently moves, with probability p = n/(k+n) (Eq. 11,
+// n = newK−oldK new partitions, k = oldK), to a uniformly chosen new
+// partition. Shrinking: vertices on removed partitions (label >= newK)
+// move to a uniformly chosen surviving partition. Equal counts return a
+// copy unchanged.
+func elasticRelabel(prev []int32, oldK, newK int, seed uint64) ([]int32, error) {
+	if newK < 1 {
+		return nil, fmt.Errorf("core: newK=%d", newK)
+	}
+	out := make([]int32, len(prev))
+	copy(out, prev)
+	r := rng.New(seed*0x9e3779b97f4a7c15 + 0xe1a5)
+	switch {
+	case newK > oldK:
+		n := newK - oldK
+		p := float64(n) / float64(oldK+n)
+		for v := range out {
+			if r.Bool(p) {
+				out[v] = int32(oldK + r.Intn(n))
+			}
+		}
+	case newK < oldK:
+		for v := range out {
+			if out[v] >= int32(newK) {
+				out[v] = int32(r.Intn(newK))
+			}
+		}
+	}
+	return out, nil
+}

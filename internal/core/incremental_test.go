@@ -1,0 +1,323 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// partitionBase produces a converged base partitioning for adaptation tests.
+func partitionBase(t *testing.T, w *graph.Weighted, k int) *Result {
+	t.Helper()
+	opts := DefaultOptions(k)
+	opts.Seed = 100
+	res, err := mustPartitioner(t, opts).PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAdaptCheaperAndStabler(t *testing.T) {
+	// Fig. 7: adapting after a small change must cost far less than
+	// repartitioning from scratch and move far fewer vertices.
+	g := gen.WattsStrogatz(4000, 10, 0.15, 51)
+	w := graph.Convert(g)
+	base := partitionBase(t, w, 8)
+
+	grown := w.Clone()
+	mut := gen.GrowthBatch(grown, 0.02, 53)
+	if _, err := mut.Apply(grown); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions(8)
+	opts.Seed = 101
+	p := mustPartitioner(t, opts)
+
+	adapted, err := p.Adapt(grown, base.Labels, mut.TouchedVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := p.PartitionWeighted(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if adapted.Iterations >= scratch.Iterations {
+		t.Fatalf("adaptation took %d iterations vs scratch %d", adapted.Iterations, scratch.Iterations)
+	}
+	if adapted.Messages >= scratch.Messages {
+		t.Fatalf("adaptation sent %d messages vs scratch %d", adapted.Messages, scratch.Messages)
+	}
+	moveAdapt := metrics.Difference(base.Labels, adapted.Labels)
+	moveScratch := metrics.Difference(base.Labels, scratch.Labels)
+	if moveAdapt > 0.3 {
+		t.Fatalf("adaptation moved %.0f%% of vertices", 100*moveAdapt)
+	}
+	if moveAdapt >= moveScratch {
+		t.Fatalf("adaptation (%.2f) not stabler than scratch (%.2f)", moveAdapt, moveScratch)
+	}
+	// Quality must remain comparable.
+	if phi := metrics.Phi(grown, adapted.Labels); phi < 0.9*metrics.Phi(grown, scratch.Labels) {
+		t.Fatalf("adapted phi=%.3f much worse than scratch", phi)
+	}
+	if rho := metrics.Rho(grown, adapted.Labels, 8); rho > 1.25 {
+		t.Fatalf("adapted rho=%.3f", rho)
+	}
+}
+
+func TestAdaptWithNewVertices(t *testing.T) {
+	g := gen.WattsStrogatz(2000, 8, 0.2, 57)
+	w := graph.Convert(g)
+	base := partitionBase(t, w, 4)
+
+	grown := w.Clone()
+	first := grown.AddVertices(100)
+	// Attach each new vertex to a few existing ones.
+	mut := &graph.Mutation{}
+	for i := 0; i < 100; i++ {
+		nv := first + graph.VertexID(i)
+		for j := 0; j < 3; j++ {
+			mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{U: nv, V: graph.VertexID((i*37 + j*911) % 2000), Weight: 2})
+		}
+	}
+	if _, err := mut.Apply(grown); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions(4)
+	opts.Seed = 59
+	res, err := mustPartitioner(t, opts).Adapt(grown, base.Labels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 2100 {
+		t.Fatalf("labels for %d vertices, want 2100", len(res.Labels))
+	}
+	if err := metrics.ValidateLabels(res.Labels, 4); err != nil {
+		t.Fatal(err)
+	}
+	if rho := metrics.Rho(grown, res.Labels, 4); rho > 1.25 {
+		t.Fatalf("rho=%.3f after growth", rho)
+	}
+}
+
+func TestAdaptValidation(t *testing.T) {
+	w := graph.NewWeighted(3)
+	w.AddEdge(0, 1, 1)
+	opts := DefaultOptions(2)
+	p := mustPartitioner(t, opts)
+	if _, err := p.Adapt(w, []int32{0, 0, 1, 1}, nil); err == nil {
+		t.Fatal("too many previous labels accepted")
+	}
+	if _, err := p.Adapt(w, []int32{0, 7, 1}, nil); err == nil {
+		t.Fatal("out-of-range previous label accepted")
+	}
+}
+
+func TestAdaptNoChangesIsNearNoop(t *testing.T) {
+	g := gen.WattsStrogatz(1500, 8, 0.2, 61)
+	w := graph.Convert(g)
+	base := partitionBase(t, w, 4)
+	opts := DefaultOptions(4)
+	opts.Seed = 63
+	res, err := mustPartitioner(t, opts).Adapt(w, base.Labels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.Difference(base.Labels, res.Labels); d > 0.15 {
+		t.Fatalf("no-change adaptation moved %.0f%% of vertices", 100*d)
+	}
+	if res.Iterations > base.Iterations {
+		t.Fatalf("no-change adaptation ran %d iterations vs base %d", res.Iterations, base.Iterations)
+	}
+}
+
+func TestAffectedOnlyMode(t *testing.T) {
+	g := gen.WattsStrogatz(2000, 8, 0.2, 67)
+	w := graph.Convert(g)
+	base := partitionBase(t, w, 4)
+
+	grown := w.Clone()
+	mut := gen.GrowthBatch(grown, 0.01, 69)
+	if _, err := mut.Apply(grown); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.Seed = 71
+	opts.AffectedOnly = true
+	res, err := mustPartitioner(t, opts).Adapt(grown, base.Labels, mut.TouchedVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Affected-only restarts must be extremely stable.
+	if d := metrics.Difference(base.Labels, res.Labels); d > 0.10 {
+		t.Fatalf("affected-only moved %.0f%% of vertices", 100*d)
+	}
+}
+
+func TestResizeGrow(t *testing.T) {
+	// Fig. 8: adding partitions and adapting.
+	g := gen.WattsStrogatz(3000, 8, 0.2, 73)
+	w := graph.Convert(g)
+	base := partitionBase(t, w, 8)
+
+	opts := DefaultOptions(10) // +2 partitions
+	opts.Seed = 75
+	res, err := mustPartitioner(t, opts).Resize(w, base.Labels, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateLabels(res.Labels, 10); err != nil {
+		t.Fatal(err)
+	}
+	// New partitions must actually receive load.
+	loads := metrics.Loads(w, res.Labels, 10)
+	for l := 8; l < 10; l++ {
+		if loads[l] == 0 {
+			t.Fatalf("new partition %d empty", l)
+		}
+	}
+	if rho := metrics.Rho(w, res.Labels, 10); rho > 1.3 {
+		t.Fatalf("rho=%.3f after grow", rho)
+	}
+	// Stability: moved fraction ≈ p = 2/10 plus repair churn; far below the
+	// ~96% a scratch run would shuffle.
+	if d := metrics.Difference(base.Labels, res.Labels); d > 0.6 {
+		t.Fatalf("grow moved %.0f%% of vertices", 100*d)
+	}
+}
+
+func TestResizeShrink(t *testing.T) {
+	g := gen.WattsStrogatz(3000, 8, 0.2, 77)
+	w := graph.Convert(g)
+	base := partitionBase(t, w, 8)
+
+	opts := DefaultOptions(6)
+	opts.Seed = 79
+	res, err := mustPartitioner(t, opts).Resize(w, base.Labels, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateLabels(res.Labels, 6); err != nil {
+		t.Fatal(err)
+	}
+	if rho := metrics.Rho(w, res.Labels, 6); rho > 1.3 {
+		t.Fatalf("rho=%.3f after shrink", rho)
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	w := graph.NewWeighted(2)
+	w.AddEdge(0, 1, 1)
+	opts := DefaultOptions(2)
+	p := mustPartitioner(t, opts)
+	if _, err := p.Resize(w, []int32{0}, 2); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+	if _, err := p.Resize(w, []int32{0, 0}, 0); err == nil {
+		t.Fatal("oldK=0 accepted")
+	}
+}
+
+func TestResizeSameKKeepsLabels(t *testing.T) {
+	prev := []int32{0, 1, 2, 0}
+	out, err := elasticRelabel(prev, 3, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prev {
+		if out[i] != prev[i] {
+			t.Fatal("same-k relabel changed labels")
+		}
+	}
+}
+
+func TestElasticRelabelGrowProbability(t *testing.T) {
+	// With oldK=4 and newK=8, p = 4/8 = 0.5 of vertices move to labels 4..7.
+	prev := make([]int32, 20000)
+	for i := range prev {
+		prev[i] = int32(i % 4)
+	}
+	out, err := elasticRelabel(prev, 4, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range out {
+		if out[i] >= 4 {
+			moved++
+		} else if out[i] != prev[i] {
+			t.Fatal("vertex moved to an old partition")
+		}
+	}
+	frac := float64(moved) / float64(len(out))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("moved fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestElasticRelabelShrinkRemovesHighLabels(t *testing.T) {
+	prev := make([]int32, 1000)
+	for i := range prev {
+		prev[i] = int32(i % 8)
+	}
+	out, err := elasticRelabel(prev, 8, 5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range out {
+		if l >= 5 {
+			t.Fatalf("vertex %d kept removed label %d", i, l)
+		}
+		if prev[i] < 5 && out[i] != prev[i] {
+			t.Fatalf("vertex %d on surviving partition moved", i)
+		}
+	}
+}
+
+func TestSeedNewVerticesBalances(t *testing.T) {
+	// Heavily unbalanced existing loads; new vertices must flow to the
+	// light partitions.
+	w := graph.NewWeighted(6)
+	w.AddEdge(0, 1, 10) // heavy partition 0 load
+	init := make([]int32, 6)
+	// Vertices 0,1 on partition 0; vertices 2..5 are new.
+	seedNewVertices(w, init, 2, 2)
+	for v := 2; v < 6; v++ {
+		if init[v] != 1 {
+			t.Fatalf("new vertex %d seeded on loaded partition (labels=%v)", v, init)
+		}
+	}
+}
+
+func TestAdaptAfterChurn(t *testing.T) {
+	// The full dynamic setting: edges added AND removed (§I), then adapt.
+	g := gen.WattsStrogatz(3000, 8, 0.2, 401)
+	w := graph.Convert(g)
+	base := partitionBase(t, w, 8)
+
+	churned := w.Clone()
+	mut := gen.ChurnBatch(churned, 0.03, 0.03, 403)
+	if _, err := mut.Apply(churned); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(8)
+	opts.Seed = 405
+	res, err := mustPartitioner(t, opts).Adapt(churned, base.Labels, mut.TouchedVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateLabels(res.Labels, 8); err != nil {
+		t.Fatal(err)
+	}
+	if rho := metrics.Rho(churned, res.Labels, 8); rho > 1.25 {
+		t.Fatalf("rho=%.3f after churn adaptation", rho)
+	}
+	if d := metrics.Difference(base.Labels, res.Labels); d > 0.30 {
+		t.Fatalf("churn adaptation moved %.0f%% of vertices", 100*d)
+	}
+}

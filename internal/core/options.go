@@ -1,0 +1,135 @@
+// Package core implements Spinner, the scalable k-way balanced graph
+// partitioning algorithm of Martella et al. (ICDE 2017), on top of the
+// Pregel engine in internal/pregel.
+//
+// Spinner extends label propagation (LPA) with:
+//
+//   - a weighting of the undirected support graph that counts the messages
+//     a Pregel system would exchange across each edge (Eq. 3);
+//   - a balance penalty π(l) = b(l)/C subtracted from the normalized
+//     locality score (Eq. 8), where C = c·T/k is the per-partition
+//     capacity (Eq. 5) over the total load T;
+//   - a decentralized probabilistic migration step that lets each
+//     candidate vertex migrate with probability r(l)/m(l) (Eq. 14), which
+//     bounds capacity violations with high probability (Prop. 3);
+//   - a per-worker asynchronous view of the partition loads (§IV-A4) that
+//     speeds up convergence without cross-worker coordination;
+//   - a score-based halting heuristic (ε, w) over score(G) (Eq. 10);
+//   - incremental adaptation after graph mutations (§III-D) and elastic
+//     adaptation after partition count changes (§III-E).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Options configures a Partitioner. The zero value is not valid; use
+// DefaultOptions or fill in at least K.
+type Options struct {
+	// K is the number of partitions (labels). Required, >= 1.
+	K int
+	// C is the additional-capacity constant c > 1 of Eq. 5. Each partition
+	// may hold up to c·T/k load. Larger values converge faster but allow
+	// more unbalance (Fig. 5). Default 1.05.
+	C float64
+	// Epsilon is the halting threshold ε: the run is in a steady state when
+	// the relative improvement of score(G) stays below ε. Default 0.001.
+	Epsilon float64
+	// W is the halting window w: number of consecutive steady iterations
+	// required before halting. Default 5.
+	W int
+	// MaxIterations bounds the number of LPA iterations (each iteration is
+	// a ComputeScores + ComputeMigrations superstep pair). Default 200.
+	MaxIterations int
+	// Seed drives all randomness (initialization, tie-breaks, migration
+	// coin flips, elastic re-labeling). Runs are reproducible per seed.
+	Seed uint64
+	// NumWorkers is the Pregel worker count. Default GOMAXPROCS.
+	NumWorkers int
+	// CapacityFractions optionally assigns heterogeneous capacities: entry
+	// l is partition l's share of the total load (normalized internally).
+	// Nil means homogeneous (the paper's §III-B setting, 1/k each). This
+	// generalizes Eq. 5 to C_l = c·T·f_l, supporting clusters of unequal
+	// machines — an extension the paper leaves implicit by presenting the
+	// homogeneous case "often preferred ... to eliminate stragglers".
+	CapacityFractions []float64
+
+	// Ablation switches (all default false = paper behaviour). These exist
+	// for the ablation benchmarks called out in DESIGN.md §5.
+
+	// DisableAsyncWorkerState turns off the per-worker asynchronous load
+	// view of §IV-A4; vertices then score against the barrier-synchronized
+	// loads only.
+	DisableAsyncWorkerState bool
+	// UnboundedMigration disables the probabilistic migration step
+	// (Eq. 14): every candidate migrates. Demonstrates the ρ blow-up the
+	// ComputeMigrations step prevents.
+	UnboundedMigration bool
+	// IgnoreEdgeWeights scores every edge as weight 1, discarding the
+	// directed-multiplicity weighting of Eq. 3.
+	IgnoreEdgeWeights bool
+	// RandomTieBreak breaks score ties uniformly at random instead of
+	// preferring the current label, increasing needless migrations.
+	RandomTieBreak bool
+	// AffectedOnly restricts migration evaluation, after an incremental
+	// restart, to vertices affected by the graph change and vertices that
+	// subsequently observe a neighbor's migration (§III-D, first strategy).
+	// The paper's default (and ours) is to let every vertex participate.
+	AffectedOnly bool
+}
+
+// DefaultOptions returns the paper's experiment configuration (§V-A):
+// c = 1.05, ε = 0.001, w = 5.
+func DefaultOptions(k int) Options {
+	return Options{K: k, C: 1.05, Epsilon: 0.001, W: 5, MaxIterations: 200}
+}
+
+// normalize fills defaults and validates.
+func (o *Options) normalize() error {
+	if o.K < 1 {
+		return fmt.Errorf("core: K=%d, want >= 1", o.K)
+	}
+	if o.C == 0 {
+		o.C = 1.05
+	}
+	if o.C <= 1 {
+		return fmt.Errorf("core: C=%v, want > 1", o.C)
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.001
+	}
+	if o.Epsilon < 0 {
+		return errors.New("core: negative Epsilon")
+	}
+	if o.W == 0 {
+		o.W = 5
+	}
+	if o.W < 1 {
+		return errors.New("core: W must be >= 1")
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 200
+	}
+	if o.MaxIterations < 1 {
+		return errors.New("core: MaxIterations must be >= 1")
+	}
+	if o.CapacityFractions != nil {
+		if len(o.CapacityFractions) != o.K {
+			return fmt.Errorf("core: %d capacity fractions for K=%d partitions", len(o.CapacityFractions), o.K)
+		}
+		sum := 0.0
+		for l, f := range o.CapacityFractions {
+			if f <= 0 {
+				return fmt.Errorf("core: capacity fraction %v of partition %d not positive", f, l)
+			}
+			sum += f
+		}
+		norm := make([]float64, o.K)
+		for l, f := range o.CapacityFractions {
+			norm[l] = f / sum
+		}
+		o.CapacityFractions = norm
+	}
+	return nil
+}

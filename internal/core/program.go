@@ -1,0 +1,468 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pregel"
+)
+
+// Algorithm phases (Fig. 2 of the paper). Each phase maps onto one or more
+// Pregel supersteps; the master advances the phase between supersteps.
+const (
+	phaseNeighborPropagation = iota // directed graph: announce ID to out-neighbors
+	phaseNeighborDiscovery          // create reverse edges / weight-2 reciprocal edges
+	phaseInitialization             // label assignment + load aggregation
+	phaseComputeScores              // pick candidate label maximizing Eq. 8
+	phaseComputeMigrations          // probabilistic migration (Eq. 14)
+)
+
+// Aggregator names.
+const (
+	aggLoads  = "loads"  // persistent: b(l) per label (Eq. 6)
+	aggCand   = "cand"   // per-iteration: m(l), load wanting to migrate to l (Eq. 13)
+	aggProbs  = "probs"  // master-published migration probabilities (Eq. 14)
+	aggScore  = "score"  // per-iteration: score(G) (Eq. 10)
+	aggLocalW = "localw" // per-iteration: Σ_v (weight to same-label neighbors)
+	aggMigs   = "migs"   // per-iteration: number of migrations
+	aggTotal  = "total"  // persistent: total load T = Σ_v deg_w(v)
+)
+
+// vval is the per-vertex state.
+type vval struct {
+	label int32
+	cand  int32   // candidate label for this iteration, -1 if none
+	degW  float64 // weighted degree, fixed at Initialization
+	dirty bool    // AffectedOnly: may evaluate migration
+}
+
+// eval is the per-edge state: the edge weight of Eq. 3 and the neighbor's
+// last announced label (the Giraph implementation stores exactly this in
+// the edge value to avoid re-sending labels every superstep).
+type eval struct {
+	weight int32
+	label  int32
+}
+
+// msg announces the sender and its (new) label. During the conversion
+// phase the label field is unused.
+type msg struct {
+	src   pregel.VertexID
+	label int32
+}
+
+// workerScratch is the per-worker shared state of §IV-A4: an
+// asynchronously updated view of the partition loads, plus reusable
+// scratch buffers for per-label neighborhood weights.
+type workerScratch struct {
+	refreshedAt int // superstep for which localLoads is current
+	localLoads  []float64
+	labelW      []float64
+	touched     []int32
+}
+
+// program is the Spinner vertex program plus its master state. One
+// instance drives one partitioning run.
+type program struct {
+	opts       Options
+	k          int
+	convert    bool    // run NeighborPropagation/Discovery first
+	initLabels []int32 // nil → uniform random initialization
+	affected   []bool  // AffectedOnly: initially-dirty vertices (nil → all dirty)
+
+	// Master state (written only in MasterCompute, read by workers in the
+	// following superstep).
+	phase      int
+	iter       int // 1-based LPA iteration, set when entering ComputeScores
+	totalLoad  float64
+	capacities []float64 // C_l = c·T·f_l (Eq. 5; homogeneous f_l = 1/k)
+
+	pendingScore float64
+	pendingPhi   float64
+	pendingCand  float64
+	history      []IterationMetrics
+	bestScore    float64
+	haveScore    bool
+	steady       int
+	converged    bool
+}
+
+func newProgram(opts Options, convert bool, initLabels []int32, affected []bool) *program {
+	p := &program{opts: opts, k: opts.K, convert: convert, initLabels: initLabels, affected: affected}
+	if convert {
+		p.phase = phaseNeighborPropagation
+	} else {
+		p.phase = phaseInitialization
+	}
+	return p
+}
+
+// register declares the aggregators on the engine.
+func (p *program) register(e *pregel.Engine[vval, eval, msg]) {
+	e.RegisterAggregator(aggLoads, pregel.AggSum, p.k, true)
+	e.RegisterAggregator(aggCand, pregel.AggSum, p.k, false)
+	e.RegisterAggregator(aggProbs, pregel.AggSum, p.k, false)
+	e.RegisterAggregator(aggScore, pregel.AggSum, 1, false)
+	e.RegisterAggregator(aggLocalW, pregel.AggSum, 1, false)
+	e.RegisterAggregator(aggMigs, pregel.AggSum, 1, false)
+	e.RegisterAggregator(aggTotal, pregel.AggSum, 1, true)
+}
+
+// InitWorker implements pregel.WorkerInitializer.
+func (p *program) InitWorker(workerID, numWorkers int) any {
+	return &workerScratch{
+		refreshedAt: -1,
+		localLoads:  make([]float64, p.k),
+		labelW:      make([]float64, p.k),
+	}
+}
+
+// Compute implements pregel.Program.
+func (p *program) Compute(ctx *pregel.Context[vval, eval, msg], v *pregel.Vertex[vval, eval], msgs []msg) {
+	switch p.phase {
+	case phaseNeighborPropagation:
+		p.neighborPropagation(ctx, v)
+	case phaseNeighborDiscovery:
+		p.neighborDiscovery(ctx, v, msgs)
+	case phaseInitialization:
+		p.initialize(ctx, v)
+	case phaseComputeScores:
+		p.computeScores(ctx, v, msgs)
+	case phaseComputeMigrations:
+		p.computeMigrations(ctx, v)
+	}
+}
+
+// neighborPropagation: every vertex announces its ID along its out-edges so
+// the reverse direction can be discovered (the Pregel data model only
+// stores out-edges).
+func (p *program) neighborPropagation(ctx *pregel.Context[vval, eval, msg], v *pregel.Vertex[vval, eval]) {
+	for i := range v.Edges {
+		v.Edges[i].Value = eval{weight: 1, label: -1}
+		ctx.SendTo(v.Edges[i].To, msg{src: v.ID})
+	}
+	ctx.CountEdges(len(v.Edges))
+}
+
+// neighborDiscovery: for each received announcement, either bump an
+// existing reciprocal edge to weight 2 (Eq. 3, AND case) or create the
+// missing reverse edge with weight 1 (XOR case).
+func (p *program) neighborDiscovery(ctx *pregel.Context[vval, eval, msg], v *pregel.Vertex[vval, eval], msgs []msg) {
+	for _, m := range msgs {
+		found := false
+		for i := range v.Edges {
+			if v.Edges[i].To == m.src {
+				if !p.opts.IgnoreEdgeWeights {
+					v.Edges[i].Value.weight = 2
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			v.Edges = append(v.Edges, pregel.Edge[eval]{To: m.src, Value: eval{weight: 1, label: -1}})
+		}
+	}
+	ctx.CountEdges(len(msgs))
+}
+
+// initialize: assign the starting label, cache the weighted degree,
+// contribute it to the load counters, and announce the label to all
+// neighbors. Edges are sorted by target so later label updates can use
+// binary search.
+func (p *program) initialize(ctx *pregel.Context[vval, eval, msg], v *pregel.Vertex[vval, eval]) {
+	sort.Slice(v.Edges, func(i, j int) bool { return v.Edges[i].To < v.Edges[j].To })
+	var degW float64
+	for i := range v.Edges {
+		degW += float64(v.Edges[i].Value.weight)
+	}
+	var label int32
+	if p.initLabels != nil {
+		label = p.initLabels[v.ID]
+	} else {
+		label = ctx.Rand().Int31n(int32(p.k))
+	}
+	dirty := true
+	if p.affected != nil {
+		dirty = p.affected[v.ID]
+	}
+	v.Value = vval{label: label, cand: -1, degW: degW, dirty: dirty}
+	ctx.Aggregate(aggLoads, int(label), degW)
+	ctx.Aggregate(aggTotal, 0, degW)
+	for i := range v.Edges {
+		ctx.SendTo(v.Edges[i].To, msg{src: v.ID, label: label})
+	}
+	ctx.CountEdges(len(v.Edges))
+}
+
+// updateEdgeLabels applies incoming label announcements to the edge values
+// (edges are sorted by target; binary search).
+func updateEdgeLabels(v *pregel.Vertex[vval, eval], msgs []msg) {
+	for _, m := range msgs {
+		lo, hi := 0, len(v.Edges)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v.Edges[mid].To < m.src {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(v.Edges) && v.Edges[lo].To == m.src {
+			v.Edges[lo].Value.label = m.label
+		}
+	}
+}
+
+// computeScores is the first superstep of an LPA iteration: each vertex
+// refreshes its view of neighbor labels, evaluates score”(v, l) (Eq. 8)
+// for every label in its neighborhood, and becomes a migration candidate
+// if some label beats its current one.
+func (p *program) computeScores(ctx *pregel.Context[vval, eval, msg], v *pregel.Vertex[vval, eval], msgs []msg) {
+	ws := ctx.WorkerState().(*workerScratch)
+	if ws.refreshedAt != ctx.Superstep() {
+		ctx.AggregatedVector(aggLoads, ws.localLoads)
+		ws.refreshedAt = ctx.Superstep()
+	}
+	if len(msgs) > 0 {
+		updateEdgeLabels(v, msgs)
+		v.Value.dirty = true
+	}
+	ctx.CountEdges(len(v.Edges) + len(msgs))
+
+	cur := v.Value.label
+	degW := v.Value.degW
+
+	// Accumulate per-label neighborhood weight into worker scratch.
+	labelW := ws.labelW
+	touched := ws.touched[:0]
+	for i := range v.Edges {
+		l := v.Edges[i].Value.label
+		if l < 0 {
+			continue // neighbor not yet announced (cannot happen after iter 1)
+		}
+		w := float64(v.Edges[i].Value.weight)
+		if p.opts.IgnoreEdgeWeights {
+			w = 1
+		}
+		if labelW[l] == 0 {
+			touched = append(touched, l)
+		}
+		labelW[l] += w
+	}
+
+	// score''(v, l) = labelW[l]/degW − b(l)/C  (Eq. 8). When degW is zero
+	// the locality term is defined as 0 and only the penalty drives the
+	// choice, sending isolated vertices toward the least-loaded partition.
+	normDeg := degW
+	if p.opts.IgnoreEdgeWeights {
+		normDeg = float64(len(v.Edges))
+	}
+	loads := ws.localLoads
+	if p.opts.DisableAsyncWorkerState {
+		// Score against the synchronized loads directly.
+		loads = nil
+	}
+	loadOf := func(l int32) float64 {
+		if loads != nil {
+			return loads[l]
+		}
+		return ctx.AggregatedValue(aggLoads, int(l))
+	}
+	score := func(l int32) float64 {
+		s := -loadOf(l) / p.capacities[l]
+		if normDeg > 0 {
+			s += labelW[l] / normDeg
+		}
+		return s
+	}
+
+	curScore := score(cur)
+	ctx.Aggregate(aggScore, 0, curScore)
+	ctx.Aggregate(aggLocalW, 0, labelW[cur])
+
+	v.Value.cand = -1
+	if p.opts.AffectedOnly && !v.Value.dirty {
+		// Clean vertex: contributes to the global score but does not
+		// evaluate migration.
+		for _, l := range touched {
+			labelW[l] = 0
+		}
+		ws.touched = touched[:0]
+		return
+	}
+
+	// Find the best label among the neighborhood labels and the current
+	// label, with the paper's tie-break: prefer the current label, else
+	// choose uniformly among the tied maxima.
+	const tieEps = 1e-12
+	best := cur
+	bestScore := curScore
+	var ties int
+	for _, l := range touched {
+		if l == cur {
+			continue
+		}
+		s := score(l)
+		switch {
+		case s > bestScore+tieEps:
+			best, bestScore, ties = l, s, 1
+		case s > bestScore-tieEps: // tie
+			if best == cur && !p.opts.RandomTieBreak {
+				continue // keep current on ties
+			}
+			ties++
+			if ctx.Rand().Intn(ties) == 0 {
+				best = l
+			}
+		}
+	}
+	if best != cur {
+		v.Value.cand = best
+		ctx.Aggregate(aggCand, int(best), degW)
+		if !p.opts.DisableAsyncWorkerState {
+			// Asynchronous per-worker view (§IV-A4): subsequent vertices on
+			// this worker see the tentative move.
+			ws.localLoads[best] += degW
+			ws.localLoads[cur] -= degW
+		}
+	}
+
+	for _, l := range touched {
+		labelW[l] = 0
+	}
+	ws.touched = touched[:0]
+}
+
+// computeMigrations is the second superstep of an iteration: each candidate
+// migrates with probability p = r(l)/m(l) (Eq. 14), updates the load
+// counters, and announces its new label.
+func (p *program) computeMigrations(ctx *pregel.Context[vval, eval, msg], v *pregel.Vertex[vval, eval]) {
+	cand := v.Value.cand
+	if cand < 0 {
+		return
+	}
+	v.Value.cand = -1
+	prob := 1.0
+	if !p.opts.UnboundedMigration {
+		prob = ctx.AggregatedValue(aggProbs, int(cand))
+	}
+	if prob < 1 && !ctx.Rand().Bool(prob) {
+		return // retry in a later iteration
+	}
+	old := v.Value.label
+	v.Value.label = cand
+	ctx.Aggregate(aggLoads, int(old), -v.Value.degW)
+	ctx.Aggregate(aggLoads, int(cand), v.Value.degW)
+	ctx.Aggregate(aggMigs, 0, 1)
+	for i := range v.Edges {
+		ctx.SendTo(v.Edges[i].To, msg{src: v.ID, label: cand})
+	}
+	ctx.CountEdges(len(v.Edges))
+}
+
+// MasterCompute implements pregel.MasterProgram: it advances the phase
+// machine, computes the migration probabilities, records per-iteration
+// metrics, and applies the (ε, w) halting heuristic.
+func (p *program) MasterCompute(m *pregel.Master) {
+	switch p.phase {
+	case phaseNeighborPropagation:
+		p.phase = phaseNeighborDiscovery
+
+	case phaseNeighborDiscovery:
+		p.phase = phaseInitialization
+
+	case phaseInitialization:
+		p.totalLoad = m.Agg(aggTotal)[0]
+		if p.totalLoad == 0 {
+			// Edgeless graph: any labeling is optimal.
+			p.converged = true
+			m.Halt()
+			return
+		}
+		p.capacities = make([]float64, p.k)
+		for l := 0; l < p.k; l++ {
+			f := 1 / float64(p.k)
+			if p.opts.CapacityFractions != nil {
+				f = p.opts.CapacityFractions[l]
+			}
+			p.capacities[l] = p.opts.C * p.totalLoad * f
+		}
+		p.phase = phaseComputeScores
+		p.iter = 1
+
+	case phaseComputeScores:
+		// Publish migration probabilities for the coming superstep.
+		loads := m.Agg(aggLoads)
+		cand := m.Agg(aggCand)
+		probs := make([]float64, p.k)
+		var candTotal float64
+		for l := 0; l < p.k; l++ {
+			candTotal += cand[l]
+			r := p.capacities[l] - loads[l]
+			switch {
+			case cand[l] <= 0 || r >= cand[l]:
+				probs[l] = 1
+			case r <= 0:
+				probs[l] = 0
+			default:
+				probs[l] = r / cand[l]
+			}
+		}
+		m.SetAgg(aggProbs, probs)
+		p.pendingScore = m.Agg(aggScore)[0]
+		p.pendingPhi = m.Agg(aggLocalW)[0] / p.totalLoad
+		p.pendingCand = candTotal
+		p.phase = phaseComputeMigrations
+
+	case phaseComputeMigrations:
+		loads := m.Agg(aggLoads)
+		maxLoad := 0.0
+		for _, b := range loads {
+			if b > maxLoad {
+				maxLoad = b
+			}
+		}
+		rho := maxLoad / (p.totalLoad / float64(p.k))
+		p.history = append(p.history, IterationMetrics{
+			Iteration:     p.iter,
+			Score:         p.pendingScore,
+			Phi:           p.pendingPhi,
+			Rho:           rho,
+			Migrations:    int64(m.Agg(aggMigs)[0]),
+			CandidateLoad: p.pendingCand,
+			Loads:         append([]float64(nil), loads...),
+		})
+
+		// Halting heuristic (§III-C): the run is in a steady state once the
+		// score fails to improve on its best value by more than ε
+		// (relative) for w consecutive iterations. Comparing against the
+		// best — not the previous — score makes plateau oscillations
+		// (§III-C's limit-cycle concern) count as steady instead of
+		// resetting the window.
+		if p.haveScore {
+			denom := math.Max(math.Abs(p.bestScore), 1)
+			if (p.pendingScore-p.bestScore)/denom < p.opts.Epsilon {
+				p.steady++
+			} else {
+				p.steady = 0
+			}
+		}
+		if !p.haveScore || p.pendingScore > p.bestScore {
+			p.bestScore = p.pendingScore
+		}
+		p.haveScore = true
+
+		if p.steady >= p.opts.W {
+			p.converged = true
+			m.Halt()
+			return
+		}
+		if p.iter >= p.opts.MaxIterations {
+			m.Halt()
+			return
+		}
+		p.iter++
+		p.phase = phaseComputeScores
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pregel"
+)
+
+// Partitioner computes k-way balanced partitionings with the Spinner
+// algorithm. A Partitioner is immutable and safe for reuse across runs.
+type Partitioner struct {
+	opts Options
+}
+
+// NewPartitioner validates opts (filling defaults) and returns a
+// Partitioner.
+func NewPartitioner(opts Options) (*Partitioner, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	return &Partitioner{opts: opts}, nil
+}
+
+// Options returns the normalized options in effect.
+func (p *Partitioner) Options() Options { return p.opts }
+
+// Partition partitions g from scratch. Directed graphs are first converted
+// to the weighted undirected form with the in-engine NeighborPropagation /
+// NeighborDiscovery supersteps (Eq. 3); g should be deduplicated (use
+// graph.Builder) since reciprocal detection assumes simple graphs.
+func (p *Partitioner) Partition(g *graph.Graph) (*Result, error) {
+	vs := verticesFromGraph(g)
+	prog := newProgram(p.opts, true, nil, nil)
+	return p.run(prog, vs)
+}
+
+// PartitionWeighted partitions an already-converted weighted undirected
+// graph from scratch, skipping the conversion supersteps.
+func (p *Partitioner) PartitionWeighted(w *graph.Weighted) (*Result, error) {
+	vs := verticesFromWeighted(w)
+	prog := newProgram(p.opts, false, nil, nil)
+	return p.run(prog, vs)
+}
+
+// Adapt incrementally repartitions w after graph changes (§III-D). prev
+// holds the previous labels; if w has grown, vertices beyond len(prev) are
+// new and are seeded on the least-loaded partitions so the balance
+// constraint is not violated. affected optionally lists the vertices
+// adjacent to the changes; it is consulted only when Options.AffectedOnly
+// restricts migration evaluation (the paper's default lets every vertex
+// participate, and so does ours when AffectedOnly is false).
+func (p *Partitioner) Adapt(w *graph.Weighted, prev []int32, affected []graph.VertexID) (*Result, error) {
+	n := w.NumVertices()
+	if len(prev) > n {
+		return nil, fmt.Errorf("core: previous labeling has %d labels but graph has %d vertices", len(prev), n)
+	}
+	for v, l := range prev {
+		if l < 0 || int(l) >= p.opts.K {
+			return nil, fmt.Errorf("core: previous label %d of vertex %d outside [0,%d)", l, v, p.opts.K)
+		}
+	}
+	init := make([]int32, n)
+	copy(init, prev)
+	seedNewVertices(w, init, len(prev), p.opts.K)
+
+	var mask []bool
+	if p.opts.AffectedOnly {
+		mask = make([]bool, n)
+		for v := len(prev); v < n; v++ {
+			mask[v] = true
+		}
+		for _, v := range affected {
+			if v >= 0 && int(v) < n {
+				mask[v] = true
+			}
+		}
+	}
+	prog := newProgram(p.opts, false, init, mask)
+	return p.run(prog, verticesFromWeighted(w))
+}
+
+// Resize adapts a partitioning from oldK partitions to Options.K
+// partitions (§III-E). When partitions are added, each vertex moves to a
+// uniformly chosen new partition with probability n/(k+n) (Eq. 11); when
+// partitions are removed, vertices on removed partitions move to a
+// uniformly chosen surviving one. The LPA iterations then repair locality.
+func (p *Partitioner) Resize(w *graph.Weighted, prev []int32, oldK int) (*Result, error) {
+	if len(prev) != w.NumVertices() {
+		return nil, fmt.Errorf("core: previous labeling has %d labels but graph has %d vertices", len(prev), w.NumVertices())
+	}
+	if oldK < 1 {
+		return nil, fmt.Errorf("core: oldK=%d", oldK)
+	}
+	init, err := elasticRelabel(prev, oldK, p.opts.K, p.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	prog := newProgram(p.opts, false, init, nil)
+	return p.run(prog, verticesFromWeighted(w))
+}
+
+// run drives the Pregel engine and packages the Result.
+func (p *Partitioner) run(prog *program, vs []pregel.Vertex[vval, eval]) (*Result, error) {
+	start := time.Now()
+	cfg := pregel.Config{
+		NumWorkers:    p.opts.NumWorkers,
+		Seed:          p.opts.Seed,
+		MaxSupersteps: 3 + 2*p.opts.MaxIterations + 2,
+	}
+	eng := pregel.NewEngine[vval, eval, msg](cfg, prog)
+	prog.register(eng)
+	if err := eng.SetVertices(vs); err != nil {
+		return nil, err
+	}
+	steps, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int32, len(vs))
+	for i := range eng.Vertices() {
+		labels[i] = eng.Vertices()[i].Value.label
+	}
+	var msgs int64
+	durations := make([]time.Duration, 0, len(eng.Stats()))
+	for _, st := range eng.Stats() {
+		msgs += st.TotalSent()
+		durations = append(durations, st.Duration)
+	}
+	return &Result{
+		Labels:             labels,
+		K:                  p.opts.K,
+		Iterations:         len(prog.history),
+		Converged:          prog.converged,
+		History:            prog.history,
+		Supersteps:         steps,
+		Messages:           msgs,
+		Runtime:            time.Since(start),
+		SuperstepDurations: durations,
+	}, nil
+}
+
+// verticesFromGraph loads a (possibly directed) graph as weight-1 edges;
+// the conversion supersteps then fix up weights and reverse edges.
+// Self-loops are dropped.
+func verticesFromGraph(g *graph.Graph) []pregel.Vertex[vval, eval] {
+	vs := make([]pregel.Vertex[vval, eval], g.NumVertices())
+	for i := range vs {
+		vs[i].ID = graph.VertexID(i)
+		for _, to := range g.Neighbors(graph.VertexID(i)) {
+			if to == graph.VertexID(i) {
+				continue
+			}
+			vs[i].Edges = append(vs[i].Edges, pregel.Edge[eval]{To: to, Value: eval{weight: 1, label: -1}})
+		}
+	}
+	// Undirected graphs store both directions, so NeighborDiscovery sees a
+	// reciprocal announcement for every edge and assigns weight 2, matching
+	// the paper's message-count semantics without special-casing here.
+	return vs
+}
+
+// verticesFromWeighted loads a converted weighted undirected graph.
+func verticesFromWeighted(w *graph.Weighted) []pregel.Vertex[vval, eval] {
+	vs := make([]pregel.Vertex[vval, eval], w.NumVertices())
+	for i := range vs {
+		vs[i].ID = graph.VertexID(i)
+		arcs := w.Neighbors(graph.VertexID(i))
+		vs[i].Edges = make([]pregel.Edge[eval], len(arcs))
+		for j, a := range arcs {
+			vs[i].Edges[j] = pregel.Edge[eval]{To: a.To, Value: eval{weight: a.Weight, label: -1}}
+		}
+	}
+	return vs
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Fig6Row is one scalability measurement: the wall-clock runtime of the
+// first LPA iteration (ComputeScores + ComputeMigrations), the quantity
+// §V-B isolates because it is the most deterministic and expensive
+// iteration.
+type Fig6Row struct {
+	Vertices  int
+	Workers   int
+	K         int
+	Iteration time.Duration
+}
+
+// fig6Graph builds the paper's scalability workload: a Watts–Strogatz
+// graph with out-degree 40 (scaled down by default to out-degree 16 to
+// keep laptop runs fast at small n) and β = 0.3.
+func fig6Graph(n int, seed uint64) *graph.Weighted {
+	deg := 16
+	if n < 64 {
+		deg = 4
+	}
+	return graph.Convert(gen.WattsStrogatz(n, deg, 0.3, seed))
+}
+
+// fig6Run measures the first-iteration runtime for one configuration.
+func fig6Run(w *graph.Weighted, k, workers int, seed uint64) (time.Duration, error) {
+	opts := core.DefaultOptions(k)
+	opts.Seed = seed
+	opts.NumWorkers = workers
+	opts.MaxIterations = 3 // only the first iteration is measured
+	opts.W = 1000          // prevent early halting from hiding the iteration
+	p, err := core.NewPartitioner(opts)
+	if err != nil {
+		return 0, err
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		return 0, err
+	}
+	d := res.FirstIterationTime()
+	if d == 0 {
+		return 0, fmt.Errorf("experiments: no iteration measured")
+	}
+	return d, nil
+}
+
+// Fig6a sweeps the graph size (vertices doubling across the given range)
+// at fixed k and workers: runtime should grow near-linearly in |V|.
+func Fig6a(cfg Config, sizes []int) ([]Fig6Row, error) {
+	if len(sizes) == 0 {
+		sizes = []int{4000, 8000, 16000, 32000, 64000, 128000}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	var rows []Fig6Row
+	cfg.printf("Figure 6(a) — first-iteration runtime vs graph size (k=64, %d workers)\n", workers)
+	for _, n := range sizes {
+		w := fig6Graph(n, cfg.Seed)
+		d, err := fig6Run(w, 64, workers, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{Vertices: n, Workers: workers, K: 64, Iteration: d})
+		cfg.printf("  n=%-8d runtime=%v\n", n, d)
+	}
+	return rows, nil
+}
+
+// Fig6b sweeps the worker count on a fixed graph: runtime should drop
+// near-linearly with workers (the paper reports a 7.6× speedup from 7.6×
+// more workers).
+func Fig6b(cfg Config, workerCounts []int) ([]Fig6Row, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	n := cfg.scale() * 4
+	w := fig6Graph(n, cfg.Seed)
+	var rows []Fig6Row
+	cfg.printf("Figure 6(b) — first-iteration runtime vs workers (n=%d, k=64)\n", n)
+	for _, wk := range workerCounts {
+		d, err := fig6Run(w, 64, wk, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{Vertices: n, Workers: wk, K: 64, Iteration: d})
+		cfg.printf("  workers=%-3d runtime=%v\n", wk, d)
+	}
+	return rows, nil
+}
+
+// Fig6c sweeps the number of partitions on a fixed graph: per-iteration
+// cost grows with k because the per-vertex heuristic and the sharded
+// aggregators are both O(k).
+func Fig6c(cfg Config, ks []int) ([]Fig6Row, error) {
+	if len(ks) == 0 {
+		ks = []int{2, 8, 32, 128, 512}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	n := cfg.scale() * 2
+	w := fig6Graph(n, cfg.Seed)
+	var rows []Fig6Row
+	cfg.printf("Figure 6(c) — first-iteration runtime vs partitions (n=%d, %d workers)\n", n, workers)
+	for _, k := range ks {
+		d, err := fig6Run(w, k, workers, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{Vertices: n, Workers: workers, K: k, Iteration: d})
+		cfg.printf("  k=%-4d runtime=%v\n", k, d)
+	}
+	return rows, nil
+}

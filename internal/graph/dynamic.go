@@ -1,0 +1,83 @@
+package graph
+
+import "fmt"
+
+// Mutation describes a batch of changes to apply to a weighted undirected
+// graph: new vertices and new edges. It models the "graphs are naturally
+// dynamic" scenario of §III-D: the incremental experiments (Fig. 7) build a
+// Mutation holding x% new edges and apply it between partitioning rounds.
+type Mutation struct {
+	// NewVertices is the number of vertices to append.
+	NewVertices int
+	// NewEdges are undirected edges to insert with the given weight.
+	// Endpoints may refer to appended vertices.
+	NewEdges []WeightedEdgeRecord
+	// RemovedEdges are undirected edges to delete. Removing an absent edge
+	// is an error (it indicates a stale batch).
+	RemovedEdges []Edge
+}
+
+// WeightedEdgeRecord is an undirected edge with an explicit weight.
+type WeightedEdgeRecord struct {
+	U, V   VertexID
+	Weight int32
+}
+
+// Apply applies m to w in place and returns the ID of the first appended
+// vertex (or -1 if none). Duplicate edges are the caller's responsibility:
+// mutation generators in internal/gen only emit fresh edges.
+func (m *Mutation) Apply(w *Weighted) (firstNew VertexID, err error) {
+	firstNew = -1
+	if m.NewVertices > 0 {
+		firstNew = w.AddVertices(m.NewVertices)
+	}
+	n := VertexID(w.NumVertices())
+	for _, e := range m.NewEdges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return firstNew, fmt.Errorf("graph: mutation edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return firstNew, fmt.Errorf("graph: mutation self-loop at %d", e.U)
+		}
+		weight := e.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		w.AddEdge(e.U, e.V, weight)
+	}
+	for _, e := range m.RemovedEdges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return firstNew, fmt.Errorf("graph: removal (%d,%d) out of range [0,%d)", e.From, e.To, n)
+		}
+		if !w.RemoveEdge(e.From, e.To) {
+			return firstNew, fmt.Errorf("graph: removal of absent edge {%d,%d}", e.From, e.To)
+		}
+	}
+	return firstNew, nil
+}
+
+// TouchedVertices returns the set of pre-existing vertices adjacent to a
+// mutation edge, as a sorted-unique slice. The incremental restart strategy
+// that migrates only affected vertices (§III-D, first strategy) uses this.
+func (m *Mutation) TouchedVertices() []VertexID {
+	seen := make(map[VertexID]struct{}, 2*(len(m.NewEdges)+len(m.RemovedEdges)))
+	for _, e := range m.NewEdges {
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+	}
+	for _, e := range m.RemovedEdges {
+		seen[e.From] = struct{}{}
+		seen[e.To] = struct{}{}
+	}
+	out := make([]VertexID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	// Insertion sort is fine for typical batch sizes; keep deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

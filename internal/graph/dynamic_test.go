@@ -1,0 +1,85 @@
+package graph
+
+import "testing"
+
+func TestRemoveEdge(t *testing.T) {
+	w := NewWeighted(3)
+	w.AddEdge(0, 1, 2)
+	w.AddEdge(1, 2, 1)
+	if !w.RemoveEdge(0, 1) {
+		t.Fatal("existing edge not removed")
+	}
+	if w.NumEdges() != 1 || w.TotalWeight() != 1 {
+		t.Fatalf("edges=%d weight=%d after removal", w.NumEdges(), w.TotalWeight())
+	}
+	if w.Degree(0) != 0 || w.Degree(1) != 1 {
+		t.Fatalf("degrees wrong after removal: %d %d", w.Degree(0), w.Degree(1))
+	}
+	if w.RemoveEdge(0, 1) {
+		t.Fatal("absent edge reported removed")
+	}
+}
+
+func TestRemoveEdgeReverseDirection(t *testing.T) {
+	w := NewWeighted(2)
+	w.AddEdge(0, 1, 1)
+	if !w.RemoveEdge(1, 0) {
+		t.Fatal("removal via reverse endpoint order failed")
+	}
+	if w.NumEdges() != 0 {
+		t.Fatal("edge not fully removed")
+	}
+}
+
+func TestRemoveEdgeParallel(t *testing.T) {
+	// Two parallel edges: each removal takes one.
+	w := NewWeighted(2)
+	w.AddEdge(0, 1, 1)
+	w.AddEdge(0, 1, 2)
+	if !w.RemoveEdge(0, 1) || w.NumEdges() != 1 {
+		t.Fatal("first parallel removal wrong")
+	}
+	if !w.RemoveEdge(0, 1) || w.NumEdges() != 0 {
+		t.Fatal("second parallel removal wrong")
+	}
+	if w.TotalWeight() != 0 {
+		t.Fatalf("residual weight %d", w.TotalWeight())
+	}
+}
+
+func TestMutationWithRemovals(t *testing.T) {
+	w := NewWeighted(4)
+	w.AddEdge(0, 1, 1)
+	w.AddEdge(1, 2, 1)
+	w.AddEdge(2, 3, 1)
+	m := &Mutation{
+		NewEdges:     []WeightedEdgeRecord{{U: 0, V: 3, Weight: 2}},
+		RemovedEdges: []Edge{{From: 1, To: 2}},
+	}
+	if _, err := m.Apply(w); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumEdges() != 3 {
+		t.Fatalf("edges=%d, want 3", w.NumEdges())
+	}
+	// Removal endpoints count as touched.
+	touched := m.TouchedVertices()
+	want := map[VertexID]bool{0: true, 1: true, 2: true, 3: true}
+	for _, v := range touched {
+		delete(want, v)
+	}
+	if len(want) != 0 {
+		t.Fatalf("touched missing %v", want)
+	}
+}
+
+func TestMutationRemovalErrors(t *testing.T) {
+	w := NewWeighted(2)
+	w.AddEdge(0, 1, 1)
+	if _, err := (&Mutation{RemovedEdges: []Edge{{From: 0, To: 9}}}).Apply(w); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	if _, err := (&Mutation{RemovedEdges: []Edge{{From: 1, To: 0}, {From: 1, To: 0}}}).Apply(w); err == nil {
+		t.Fatal("double removal of a single edge accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package graph provides the in-memory graph substrate used throughout the
+// Spinner reproduction: directed and undirected adjacency-list graphs, the
+// directed→weighted-undirected conversion of Eq. 3 in the paper, dynamic
+// mutation batches for the incremental-repartitioning experiments, edge-list
+// I/O, and basic topology statistics.
+//
+// Vertices are dense integers in [0, NumVertices()). This mirrors the data
+// model of Pregel-style systems, where vertex identifiers are remapped to a
+// dense range at load time, and keeps every per-vertex table a flat slice.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
+// exactly the IDs 0..n-1.
+type VertexID int32
+
+// Edge is a directed edge (or one endpoint-ordered record of an undirected
+// edge) used in construction and mutation batches.
+type Edge struct {
+	From, To VertexID
+}
+
+// Graph is an adjacency-list graph. For directed graphs adj[u] holds the
+// out-neighbors of u. For undirected graphs every edge {u,v} is stored in
+// both adj[u] and adj[v].
+//
+// Graph is immutable-by-convention after construction except through the
+// explicit mutation API in dynamic.go; concurrent readers are safe as long
+// as no mutation is in flight.
+type Graph struct {
+	directed bool
+	adj      [][]VertexID
+	numArcs  int64 // number of stored adjacency entries
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int, directed bool) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{directed: directed, adj: make([][]VertexID, n)}
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumArcs returns the number of stored adjacency entries. For a directed
+// graph this is the number of edges; for an undirected graph it is twice
+// the number of edges.
+func (g *Graph) NumArcs() int64 { return g.numArcs }
+
+// NumEdges returns the number of edges: arcs for a directed graph, arcs/2
+// for an undirected one.
+func (g *Graph) NumEdges() int64 {
+	if g.directed {
+		return g.numArcs
+	}
+	return g.numArcs / 2
+}
+
+// OutDegree returns the out-degree of u (degree, for undirected graphs).
+func (g *Graph) OutDegree(u VertexID) int { return len(g.adj[u]) }
+
+// Neighbors returns the out-neighbors of u. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(u VertexID) []VertexID { return g.adj[u] }
+
+// HasEdge reports whether the arc (u,v) is present. O(deg(u)).
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge appends the arc (u,v); for undirected graphs it also appends
+// (v,u). It does not deduplicate — use a Builder for deduplicated
+// construction. Panics if an endpoint is out of range.
+func (g *Graph) AddEdge(u, v VertexID) {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	g.adj[u] = append(g.adj[u], v)
+	g.numArcs++
+	if !g.directed {
+		g.adj[v] = append(g.adj[v], u)
+		g.numArcs++
+	}
+}
+
+// AddVertices grows the graph by n isolated vertices and returns the ID of
+// the first new vertex.
+func (g *Graph) AddVertices(n int) VertexID {
+	first := VertexID(len(g.adj))
+	g.adj = append(g.adj, make([][]VertexID, n)...)
+	return first
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{directed: g.directed, numArcs: g.numArcs, adj: make([][]VertexID, len(g.adj))}
+	for i, nbrs := range g.adj {
+		c.adj[i] = append([]VertexID(nil), nbrs...)
+	}
+	return c
+}
+
+// SortAdjacency sorts every adjacency list ascending. Useful for
+// deterministic iteration and for binary-search membership tests.
+func (g *Graph) SortAdjacency() {
+	for _, nbrs := range g.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+}
+
+// Edges calls fn for every stored arc (u,v). For undirected graphs each
+// edge is visited twice, once in each direction; use u < v inside fn to
+// visit undirected edges once.
+func (g *Graph) Edges(fn func(u, v VertexID)) {
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			fn(VertexID(u), v)
+		}
+	}
+}
+
+func (g *Graph) checkVertex(u VertexID) {
+	if u < 0 || int(u) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// Builder accumulates edges with deduplication and self-loop removal, then
+// produces a Graph. It is the recommended construction path for data read
+// from external sources.
+type Builder struct {
+	directed  bool
+	n         int
+	edges     []Edge
+	keepLoops bool
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{directed: directed, n: n}
+}
+
+// KeepSelfLoops makes the builder retain self-loops (dropped by default).
+func (b *Builder) KeepSelfLoops() *Builder { b.keepLoops = true; return b }
+
+// Add records the edge (u,v). Endpoints beyond the current vertex count
+// grow the graph.
+func (b *Builder) Add(u, v VertexID) {
+	if int(u) >= b.n {
+		b.n = int(u) + 1
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// Build deduplicates the accumulated edges and returns the Graph.
+// For undirected graphs, (u,v) and (v,u) are considered duplicates.
+func (b *Builder) Build() *Graph {
+	g := New(b.n, b.directed)
+	if len(b.edges) == 0 {
+		return g
+	}
+	norm := make([]Edge, 0, len(b.edges))
+	for _, e := range b.edges {
+		if e.From == e.To && !b.keepLoops {
+			continue
+		}
+		if !b.directed && e.From > e.To {
+			e.From, e.To = e.To, e.From
+		}
+		norm = append(norm, e)
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i].From != norm[j].From {
+			return norm[i].From < norm[j].From
+		}
+		return norm[i].To < norm[j].To
+	})
+	var prev Edge
+	first := true
+	for _, e := range norm {
+		if !first && e == prev {
+			continue
+		}
+		g.AddEdge(e.From, e.To)
+		prev, first = e, false
+	}
+	return g
+}

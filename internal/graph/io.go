@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("src dst" per line)
+// into a graph with the given directedness. Lines starting with '#' or '%'
+// and blank lines are skipped. Duplicate edges and self-loops are removed.
+// Vertex IDs must be non-negative integers; the vertex count is
+// 1 + max(ID) seen.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	b := NewBuilder(0, directed)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %w", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		b.Add(VertexID(u), VertexID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g as a "src dst" edge list. Undirected edges are
+// written once, smaller endpoint first.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.Edges(func(u, v VertexID) {
+		if err != nil {
+			return
+		}
+		if !g.Directed() && u > v {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadPartitioning parses "vertex label" lines into a label slice of length
+// n. Every vertex in [0,n) must be assigned exactly once and labels must be
+// in [0,k).
+func ReadPartitioning(r io.Reader, n, k int) ([]int32, error) {
+	labels := make([]int32, n)
+	seen := make([]bool, n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		l, err := strconv.Atoi(fields[1])
+		if err != nil || l < 0 || l >= k {
+			return nil, fmt.Errorf("graph: line %d: bad label %q", lineNo, fields[1])
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("graph: line %d: vertex %d assigned twice", lineNo, v)
+		}
+		seen[v] = true
+		labels[v] = int32(l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading partitioning: %w", err)
+	}
+	for v, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("graph: vertex %d unassigned", v)
+		}
+	}
+	return labels, nil
+}
+
+// WritePartitioning writes one "vertex label" line per vertex.
+func WritePartitioning(w io.Writer, labels []int32) error {
+	bw := bufio.NewWriter(w)
+	for v, l := range labels {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", v, l); err != nil {
+			return fmt.Errorf("graph: writing partitioning: %w", err)
+		}
+	}
+	return bw.Flush()
+}

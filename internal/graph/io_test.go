@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := "# comment\n% also comment\n0 1\n1 2\n\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d, want 3/3", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListDedup(t *testing.T) {
+	in := "0 1\n0 1\n1 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d, want 1", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",                      // too few fields
+		"a 1\n",                    // bad source
+		"0 b\n",                    // bad target
+		"-1 2\n",                   // negative
+		"1 -2\n",                   // negative target
+		"99999999999999999999 1\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), false); err == nil {
+			t.Fatalf("input %q: want error, got nil", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := New(4, true)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 2)
+	g.AddEdge(1, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 4 || g2.NumEdges() != 3 {
+		t.Fatalf("round trip n=%d m=%d", g2.NumVertices(), g2.NumEdges())
+	}
+	g.Edges(func(u, v VertexID) {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("round trip lost edge (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestEdgeListRoundTripUndirected(t *testing.T) {
+	g := New(3, false)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("undirected edges written %d times, want 2 lines got %q", lines, buf.String())
+	}
+	g2, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("round trip m=%d, want 2", g2.NumEdges())
+	}
+}
+
+func TestPartitioningRoundTrip(t *testing.T) {
+	labels := []int32{0, 2, 1, 1}
+	var buf bytes.Buffer
+	if err := WritePartitioning(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartitioning(&buf, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("label[%d]=%d, want %d", i, got[i], labels[i])
+		}
+	}
+}
+
+func TestReadPartitioningErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		n, k int
+	}{
+		{"0 0\n0 1\n", 1, 2}, // duplicate
+		{"0 5\n", 1, 2},      // label out of range
+		{"7 0\n", 1, 2},      // vertex out of range
+		{"0\n", 1, 2},        // malformed
+		{"0 0\n", 2, 2},      // missing vertex 1
+		{"x 0\n", 1, 2},      // bad vertex
+	}
+	for _, c := range cases {
+		if _, err := ReadPartitioning(strings.NewReader(c.in), c.n, c.k); err == nil {
+			t.Fatalf("input %q: want error", c.in)
+		}
+	}
+}

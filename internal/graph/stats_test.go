@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func ring(n int) *Graph {
+	g := New(n, false)
+	for i := 0; i < n; i++ {
+		g.AddEdge(VertexID(i), VertexID((i+1)%n))
+	}
+	return g
+}
+
+func TestDegreesRing(t *testing.T) {
+	st := Degrees(ring(10))
+	if st.Min != 2 || st.Max != 2 || st.Mean != 2 || st.Median != 2 {
+		t.Fatalf("ring degree stats = %+v, want all 2", st)
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	st := Degrees(New(0, true))
+	if st.Max != 0 || st.Mean != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := New(4, true)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	h := DegreeHistogram(g, 2)
+	// deg: v0=2 v1=1 v2=0 v3=0
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestDegreeHistogramClamp(t *testing.T) {
+	g := New(5, true)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, VertexID(i))
+	}
+	h := DegreeHistogram(g, 2)
+	if h[2] != 1 { // degree 4 clamped into last bucket
+		t.Fatalf("clamped histogram = %v", h)
+	}
+}
+
+func TestConnectedComponentsUndirected(t *testing.T) {
+	g := New(6, false)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	labels, count := ConnectedComponents(g)
+	if count != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("components=%d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatal("component {3,4} wrong")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("isolated vertex merged")
+	}
+}
+
+func TestConnectedComponentsWeaklyDirected(t *testing.T) {
+	g := New(4, true)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1) // weakly connects 2 to {0,1}
+	labels, count := ConnectedComponents(g)
+	if count != 2 {
+		t.Fatalf("weak components=%d, want 2", count)
+	}
+	if labels[0] != labels[2] {
+		t.Fatal("weakly connected vertices 0 and 2 in different components")
+	}
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	g := New(3, false)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.SortAdjacency()
+	cc := ClusteringCoefficient(g, 0)
+	if math.Abs(cc-1.0) > 1e-9 {
+		t.Fatalf("triangle clustering = %v, want 1", cc)
+	}
+}
+
+func TestClusteringCoefficientStar(t *testing.T) {
+	g := New(5, false)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, VertexID(i))
+	}
+	g.SortAdjacency()
+	cc := ClusteringCoefficient(g, 0)
+	if cc != 0 {
+		t.Fatalf("star clustering = %v, want 0", cc)
+	}
+}
+
+func TestMutationApply(t *testing.T) {
+	w := NewWeighted(3)
+	w.AddEdge(0, 1, 1)
+	m := &Mutation{NewVertices: 1, NewEdges: []WeightedEdgeRecord{{U: 2, V: 3, Weight: 2}, {U: 0, V: 2}}}
+	first, err := m.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 || w.NumVertices() != 4 {
+		t.Fatalf("first=%d n=%d", first, w.NumVertices())
+	}
+	if w.NumEdges() != 3 {
+		t.Fatalf("edges=%d, want 3", w.NumEdges())
+	}
+	// Default weight is 1 for the zero-weight record.
+	found := false
+	for _, a := range w.Neighbors(0) {
+		if a.To == 2 && a.Weight == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("default-weight edge missing")
+	}
+}
+
+func TestMutationApplyErrors(t *testing.T) {
+	w := NewWeighted(2)
+	if _, err := (&Mutation{NewEdges: []WeightedEdgeRecord{{U: 0, V: 9}}}).Apply(w); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := (&Mutation{NewEdges: []WeightedEdgeRecord{{U: 1, V: 1}}}).Apply(w); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestMutationTouchedVertices(t *testing.T) {
+	m := &Mutation{NewEdges: []WeightedEdgeRecord{{U: 5, V: 1}, {U: 1, V: 3}}}
+	got := m.TouchedVertices()
+	want := []VertexID{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("touched=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("touched=%v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package graph
+
+// WeightedArc is one endpoint-ordered record of a weighted undirected edge.
+type WeightedArc struct {
+	To     VertexID
+	Weight int32
+}
+
+// Weighted is the weighted undirected graph that Spinner actually
+// partitions. It is produced from a directed graph by Convert (Eq. 3 of the
+// paper): an undirected edge {u,v} gets weight 1 if exactly one of (u,v),
+// (v,u) exists in the directed input, and weight 2 if both exist. The edge
+// weight therefore counts the number of messages a Pregel system would send
+// across {u,v} per superstep, which is exactly the quantity whose cut
+// Spinner minimizes.
+//
+// The adjacency is symmetric: {u,v} with weight w appears as (v,w) in
+// adj[u] and (u,w) in adj[v].
+type Weighted struct {
+	adj         [][]WeightedArc
+	totalWeight int64 // sum of weights over all arcs = 2 * sum over edges
+	numEdges    int64 // number of undirected edges
+}
+
+// NewWeighted returns an empty weighted undirected graph with n vertices.
+func NewWeighted(n int) *Weighted {
+	return &Weighted{adj: make([][]WeightedArc, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (w *Weighted) NumVertices() int { return len(w.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (w *Weighted) NumEdges() int64 { return w.numEdges }
+
+// TotalWeight returns the sum of edge weights counted once per edge.
+// This equals the number of directed arcs in the original graph and is the
+// |E| that partition capacities (Eq. 5) are defined over.
+func (w *Weighted) TotalWeight() int64 { return w.totalWeight / 2 }
+
+// WeightedDegree returns deg_w(u) = Σ_{v∈N(u)} w(u,v) — the per-vertex load
+// contribution used in b(l) (Eq. 6).
+func (w *Weighted) WeightedDegree(u VertexID) int64 {
+	var d int64
+	for _, a := range w.adj[u] {
+		d += int64(a.Weight)
+	}
+	return d
+}
+
+// Degree returns the number of distinct neighbors of u.
+func (w *Weighted) Degree(u VertexID) int { return len(w.adj[u]) }
+
+// Neighbors returns the weighted adjacency of u. The slice is owned by the
+// graph and must not be modified.
+func (w *Weighted) Neighbors(u VertexID) []WeightedArc { return w.adj[u] }
+
+// AddEdge inserts the undirected edge {u,v} with the given weight. It does
+// not deduplicate; construction paths are responsible for uniqueness.
+func (w *Weighted) AddEdge(u, v VertexID, weight int32) {
+	w.adj[u] = append(w.adj[u], WeightedArc{To: v, Weight: weight})
+	w.adj[v] = append(w.adj[v], WeightedArc{To: u, Weight: weight})
+	w.totalWeight += 2 * int64(weight)
+	w.numEdges++
+}
+
+// RemoveEdge deletes one undirected edge {u,v} (the first matching arc in
+// each direction) and reports whether it was present.
+func (w *Weighted) RemoveEdge(u, v VertexID) bool {
+	weight, ok := w.removeArc(u, v)
+	if !ok {
+		return false
+	}
+	if _, ok := w.removeArc(v, u); !ok {
+		// Symmetry is a structural invariant; a one-sided edge means the
+		// graph was corrupted by the caller.
+		panic("graph: asymmetric adjacency in RemoveEdge")
+	}
+	w.totalWeight -= 2 * int64(weight)
+	w.numEdges--
+	return true
+}
+
+// removeArc removes the first arc u→v, returning its weight.
+func (w *Weighted) removeArc(u, v VertexID) (int32, bool) {
+	arcs := w.adj[u]
+	for i, a := range arcs {
+		if a.To == v {
+			arcs[i] = arcs[len(arcs)-1]
+			w.adj[u] = arcs[:len(arcs)-1]
+			return a.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// AddVertices grows the graph by n isolated vertices and returns the ID of
+// the first new vertex.
+func (w *Weighted) AddVertices(n int) VertexID {
+	first := VertexID(len(w.adj))
+	w.adj = append(w.adj, make([][]WeightedArc, n)...)
+	return first
+}
+
+// Clone returns a deep copy.
+func (w *Weighted) Clone() *Weighted {
+	c := &Weighted{totalWeight: w.totalWeight, numEdges: w.numEdges, adj: make([][]WeightedArc, len(w.adj))}
+	for i, arcs := range w.adj {
+		c.adj[i] = append([]WeightedArc(nil), arcs...)
+	}
+	return c
+}
+
+// EdgesOnce calls fn once per undirected edge with u < v.
+func (w *Weighted) EdgesOnce(fn func(u, v VertexID, weight int32)) {
+	for u, arcs := range w.adj {
+		for _, a := range arcs {
+			if VertexID(u) < a.To {
+				fn(VertexID(u), a.To, a.Weight)
+			}
+		}
+	}
+}
+
+// Convert turns a (possibly directed) graph into the weighted undirected
+// form Spinner partitions, implementing Eq. 3:
+//
+//	w(u,v) = 1 if exactly one of (u,v),(v,u) ∈ D   (XOR)
+//	w(u,v) = 2 if both (u,v),(v,u) ∈ D
+//
+// For an already-undirected input every edge simply gets weight 2: an
+// undirected edge carries messages in both directions in a Pregel system,
+// matching the paper's Tuenti/Friendster treatment where |E| counts
+// bidirectional friendships. Self-loops in the input are ignored.
+func Convert(g *Graph) *Weighted {
+	n := g.NumVertices()
+	w := NewWeighted(n)
+	if !g.directed {
+		g.Edges(func(u, v VertexID) {
+			if u < v {
+				w.AddEdge(u, v, 2)
+			}
+		})
+		return w
+	}
+	// Directed: count multiplicity of each unordered pair.
+	// mark[v] holds, per scan of u's combined in/out neighborhood, a bitmask:
+	// bit 0 = arc u->v present, bit 1 = arc v->u present.
+	in := make([][]VertexID, n)
+	g.Edges(func(u, v VertexID) {
+		if u != v {
+			in[v] = append(in[v], u)
+		}
+	})
+	mark := make([]byte, n)
+	touched := make([]VertexID, 0, 64)
+	for ui := 0; ui < n; ui++ {
+		u := VertexID(ui)
+		touched = touched[:0]
+		for _, v := range g.Neighbors(u) {
+			if v == u {
+				continue
+			}
+			if mark[v] == 0 {
+				touched = append(touched, v)
+			}
+			mark[v] |= 1
+		}
+		for _, v := range in[u] {
+			if mark[v] == 0 {
+				touched = append(touched, v)
+			}
+			mark[v] |= 2
+		}
+		for _, v := range touched {
+			// Emit each unordered pair once, from the smaller endpoint.
+			if u < v {
+				if mark[v] == 3 {
+					w.AddEdge(u, v, 2)
+				} else {
+					w.AddEdge(u, v, 1)
+				}
+			}
+			mark[v] = 0
+		}
+	}
+	return w
+}

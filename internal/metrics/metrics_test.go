@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// path4 builds 0-1-2-3 with unit weights.
+func path4() *graph.Weighted {
+	w := graph.NewWeighted(4)
+	w.AddEdge(0, 1, 1)
+	w.AddEdge(1, 2, 1)
+	w.AddEdge(2, 3, 1)
+	return w
+}
+
+func TestPhiAllLocal(t *testing.T) {
+	w := path4()
+	if got := Phi(w, []int32{0, 0, 0, 0}); got != 1 {
+		t.Fatalf("phi=%v, want 1", got)
+	}
+}
+
+func TestPhiAllCut(t *testing.T) {
+	w := path4()
+	if got := Phi(w, []int32{0, 1, 0, 1}); got != 0 {
+		t.Fatalf("phi=%v, want 0", got)
+	}
+}
+
+func TestPhiPartial(t *testing.T) {
+	w := path4()
+	// 0,1 together; 2,3 together; middle edge cut → 2/3 local.
+	got := Phi(w, []int32{0, 0, 1, 1})
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("phi=%v, want 2/3", got)
+	}
+}
+
+func TestPhiWeighted(t *testing.T) {
+	w := graph.NewWeighted(3)
+	w.AddEdge(0, 1, 2) // local
+	w.AddEdge(1, 2, 1) // cut
+	got := Phi(w, []int32{0, 0, 1})
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("weighted phi=%v, want 2/3", got)
+	}
+}
+
+func TestPhiEmptyGraph(t *testing.T) {
+	w := graph.NewWeighted(3)
+	if Phi(w, []int32{0, 1, 2}) != 1 {
+		t.Fatal("edgeless phi should be 1")
+	}
+}
+
+func TestCutEdges(t *testing.T) {
+	w := path4()
+	if got := CutEdges(w, []int32{0, 0, 1, 1}); got != 1 {
+		t.Fatalf("cut=%d, want 1", got)
+	}
+}
+
+func TestLoadsConservation(t *testing.T) {
+	w := path4()
+	loads := Loads(w, []int32{0, 0, 1, 1}, 2)
+	var sum int64
+	for _, b := range loads {
+		sum += b
+	}
+	if sum != 2*w.TotalWeight() {
+		t.Fatalf("Σb(l)=%d, want %d", sum, 2*w.TotalWeight())
+	}
+}
+
+func TestRhoBalanced(t *testing.T) {
+	// Two partitions each carrying identical load.
+	w := graph.NewWeighted(4)
+	w.AddEdge(0, 1, 1)
+	w.AddEdge(2, 3, 1)
+	got := Rho(w, []int32{0, 0, 1, 1}, 2)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("rho=%v, want 1", got)
+	}
+}
+
+func TestRhoUnbalanced(t *testing.T) {
+	w := graph.NewWeighted(4)
+	w.AddEdge(0, 1, 1)
+	w.AddEdge(2, 3, 1)
+	// All in one partition: max load 4 (weighted degree sum), ideal 2 → ρ=2.
+	got := Rho(w, []int32{0, 0, 0, 0}, 2)
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("rho=%v, want 2", got)
+	}
+}
+
+func TestRhoEmptyGraph(t *testing.T) {
+	w := graph.NewWeighted(2)
+	if Rho(w, []int32{0, 1}, 2) != 1 {
+		t.Fatal("edgeless rho should be 1")
+	}
+}
+
+func TestScoreImprovesWithLocality(t *testing.T) {
+	w := path4()
+	bad := Score(w, []int32{0, 1, 0, 1}, 2, 1.05)
+	good := Score(w, []int32{0, 0, 1, 1}, 2, 1.05)
+	if good <= bad {
+		t.Fatalf("score(good)=%v <= score(bad)=%v", good, bad)
+	}
+}
+
+func TestScorePenalizesImbalance(t *testing.T) {
+	w := graph.NewWeighted(4)
+	w.AddEdge(0, 1, 1)
+	w.AddEdge(2, 3, 1)
+	balanced := Score(w, []int32{0, 0, 1, 1}, 2, 1.05)
+	lopsided := Score(w, []int32{0, 0, 0, 0}, 2, 1.05)
+	if balanced <= lopsided {
+		t.Fatalf("balanced score %v <= lopsided %v", balanced, lopsided)
+	}
+}
+
+func TestDifference(t *testing.T) {
+	a := []int32{0, 1, 2, 3}
+	b := []int32{0, 1, 0, 0}
+	if got := Difference(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("difference=%v, want 0.5", got)
+	}
+	if Difference(a, a) != 0 {
+		t.Fatal("self-difference nonzero")
+	}
+	if Difference(nil, nil) != 0 {
+		t.Fatal("empty difference nonzero")
+	}
+}
+
+func TestDifferencePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Difference([]int32{0}, []int32{0, 1})
+}
+
+func TestValidateLabels(t *testing.T) {
+	if err := ValidateLabels([]int32{0, 1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateLabels([]int32{0, 3}, 3); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if err := ValidateLabels([]int32{-1}, 3); err == nil {
+		t.Fatal("negative label accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	w := path4()
+	s := Summarize(w, []int32{0, 0, 1, 1}, 2)
+	if s.K != 2 || s.Cut != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+// Property: φ ∈ [0,1] and ρ ≥ 1 for any labeling of any graph.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(seed uint16, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		s := rng.New(uint64(seed))
+		g := gen.ErdosRenyi(30, 100, true, uint64(seed))
+		w := graph.Convert(g)
+		labels := make([]int32, w.NumVertices())
+		for i := range labels {
+			labels[i] = int32(s.Intn(k))
+		}
+		phi := Phi(w, labels)
+		rho := Rho(w, labels, k)
+		return phi >= 0 && phi <= 1 && rho >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: load conservation Σ_l b(l) = Σ_v deg_w(v) for any labeling.
+func TestLoadConservationProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed))
+		w := graph.Convert(gen.ErdosRenyi(40, 150, true, uint64(seed)))
+		k := 1 + s.Intn(6)
+		labels := make([]int32, w.NumVertices())
+		for i := range labels {
+			labels[i] = int32(s.Intn(k))
+		}
+		loads := Loads(w, labels, k)
+		var sum int64
+		for _, b := range loads {
+			sum += b
+		}
+		var degSum int64
+		for v := 0; v < w.NumVertices(); v++ {
+			degSum += w.WeightedDegree(graph.VertexID(v))
+		}
+		return sum == degSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroundTruthPhiHigh(t *testing.T) {
+	g, truth := gen.PlantedPartition(800, 4, 12, 2, 5)
+	w := graph.Convert(g)
+	if phi := Phi(w, truth); phi < 0.75 {
+		t.Fatalf("ground truth phi=%v, want >= 0.75", phi)
+	}
+}

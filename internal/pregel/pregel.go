@@ -1,0 +1,353 @@
+// Package pregel is a from-scratch, in-process implementation of the
+// Pregel/Giraph bulk-synchronous graph-processing model (Malewicz et al.,
+// SIGMOD 2010) that the Spinner paper builds on. It provides everything the
+// paper's Giraph implementation relies on:
+//
+//   - supersteps with synchronous message delivery (messages sent during
+//     superstep s are visible at superstep s+1);
+//   - a vertex-centric Compute function with vote-to-halt semantics and
+//     reactivation on message receipt;
+//   - edge mutation by the owning vertex (Spinner's NeighborDiscovery step
+//     creates reverse edges);
+//   - sharded aggregators: commutative/associative reductions accumulated
+//     per worker and merged at the barrier, with optional persistence
+//     across supersteps (Giraph's persistent aggregators, which Spinner
+//     uses for the partition-load counters b(l));
+//   - a master-compute hook that runs between supersteps, reads and writes
+//     aggregators, and can halt the computation (Spinner's halting
+//     heuristic and migration-probability computation live there);
+//   - per-worker shared state, the feature §IV-A4 uses to emulate
+//     asynchronous computation within a worker;
+//   - per-superstep accounting of local vs. remote messages per worker,
+//     which the cluster cost model turns into simulated wall-clock time.
+//
+// Workers are goroutines; vertex placement is controlled by a pluggable
+// placement function so experiments can compare hash placement against
+// Spinner-derived placement exactly as §V-F does.
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// VertexID aliases the graph package's vertex identifier.
+type VertexID = graph.VertexID
+
+// Edge is an outgoing edge with a mutable per-edge value (Giraph edge
+// value). Spinner stores the neighbor's last-known label and the edge
+// weight in E.
+type Edge[E any] struct {
+	To    VertexID
+	Value E
+}
+
+// Vertex is the unit of computation. The Value and Edges fields may be
+// mutated freely by the owning vertex during Compute.
+type Vertex[V, E any] struct {
+	ID     VertexID
+	Value  V
+	Edges  []Edge[E]
+	halted bool
+}
+
+// Halted reports whether the vertex has voted to halt and received no
+// message since.
+func (v *Vertex[V, E]) Halted() bool { return v.halted }
+
+// VoteToHalt marks the vertex inactive; it is reactivated when a message
+// arrives (standard Pregel semantics).
+func (v *Vertex[V, E]) VoteToHalt() { v.halted = true }
+
+// Program is the user computation. Compute is invoked for every active
+// vertex every superstep; msgs holds the messages delivered this superstep
+// (nil if none). Implementations may retain no references to msgs after
+// returning.
+type Program[V, E, M any] interface {
+	Compute(ctx *Context[V, E, M], v *Vertex[V, E], msgs []M)
+}
+
+// MasterProgram is implemented by programs that need a master computation
+// between supersteps (Giraph's MasterCompute). It runs single-threaded
+// after the barrier of every superstep, seeing that superstep's merged
+// aggregator values.
+type MasterProgram interface {
+	MasterCompute(m *Master)
+}
+
+// WorkerInitializer is implemented by programs that keep per-worker shared
+// state (§IV-A4). InitWorker is called once per worker before superstep 0;
+// the returned value is available to Compute via Context.WorkerState.
+type WorkerInitializer interface {
+	InitWorker(workerID, numWorkers int) any
+}
+
+// Combiner optionally merges messages addressed to the same vertex
+// (Giraph's message combiner). Used by SSSP (min) and PageRank (sum).
+type Combiner[M any] func(a, b M) M
+
+// Config configures an Engine.
+type Config struct {
+	// NumWorkers is the number of parallel workers (goroutines). Defaults
+	// to GOMAXPROCS.
+	NumWorkers int
+	// Placement maps a vertex to a worker in [0, NumWorkers). Defaults to
+	// contiguous ranges. Experiments on partitioning-aware placement
+	// (Fig. 9 / Table IV) supply label-based placements here.
+	Placement func(VertexID) int
+	// Seed seeds the per-worker deterministic random streams.
+	Seed uint64
+	// MaxSupersteps bounds the run; 0 means 10_000.
+	MaxSupersteps int
+}
+
+type aggOp int
+
+// Aggregator reduction operators.
+const (
+	AggSum aggOp = iota
+	AggMin
+	AggMax
+)
+
+type aggregator struct {
+	op         aggOp
+	size       int
+	persistent bool
+	current    []float64   // readable value (previous superstep's merge)
+	partials   [][]float64 // one accumulator per worker
+}
+
+func (a *aggregator) resetPartials() {
+	for w := range a.partials {
+		p := a.partials[w]
+		for i := range p {
+			switch a.op {
+			case AggSum:
+				p[i] = 0
+			case AggMin:
+				p[i] = inf
+			case AggMax:
+				p[i] = -inf
+			}
+		}
+	}
+}
+
+const inf = 1e308
+
+// SuperstepStats records one superstep's accounting, per worker, for the
+// cluster cost model and the scalability figures.
+type SuperstepStats struct {
+	Superstep      int
+	Active         int64
+	SentLocal      []int64 // per source worker
+	SentRemote     []int64 // per source worker
+	Received       []int64 // per destination worker (all sources)
+	ReceivedRemote []int64 // per destination worker, cross-worker only
+	ComputeEdges   []int64 // per worker: edges scanned (proxy for compute)
+	Duration       time.Duration
+}
+
+// TotalSent returns the total number of messages sent in the superstep.
+func (s *SuperstepStats) TotalSent() int64 {
+	var t int64
+	for i := range s.SentLocal {
+		t += s.SentLocal[i] + s.SentRemote[i]
+	}
+	return t
+}
+
+// Engine executes a Program over a vertex set with BSP semantics.
+type Engine[V, E, M any] struct {
+	cfg      Config
+	prog     Program[V, E, M]
+	combiner Combiner[M]
+
+	vertices []Vertex[V, E] // indexed by VertexID
+	place    []int32        // vertex -> worker
+	byWorker [][]VertexID   // worker -> owned vertices (deterministic order)
+
+	inbox [][]M // vertex -> pending messages (delivered next superstep)
+
+	aggs     map[string]*aggregator
+	aggOrder []string
+
+	workerState []any
+	workerRand  []*rng.Source
+
+	superstep int
+	stats     []SuperstepStats
+
+	// Checkpoint restore state (see checkpoint.go).
+	restoredInbox [][]M
+	restoredStep  int
+}
+
+// NewEngine builds an engine over the given program.
+func NewEngine[V, E, M any](cfg Config, prog Program[V, E, M]) *Engine[V, E, M] {
+	if cfg.NumWorkers <= 0 {
+		cfg.NumWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 10000
+	}
+	return &Engine[V, E, M]{cfg: cfg, prog: prog, aggs: map[string]*aggregator{}}
+}
+
+// SetCombiner installs a message combiner.
+func (e *Engine[V, E, M]) SetCombiner(c Combiner[M]) { e.combiner = c }
+
+// RegisterAggregator declares a named aggregator holding a vector of size
+// values reduced with op. Persistent aggregators carry their value across
+// supersteps, merging each superstep's contributions into it (sum op only);
+// non-persistent aggregators are reset every superstep.
+func (e *Engine[V, E, M]) RegisterAggregator(name string, op aggOp, size int, persistent bool) {
+	if _, dup := e.aggs[name]; dup {
+		panic(fmt.Sprintf("pregel: duplicate aggregator %q", name))
+	}
+	if persistent && op != AggSum {
+		panic("pregel: persistent aggregators must use AggSum")
+	}
+	a := &aggregator{op: op, size: size, persistent: persistent}
+	a.current = make([]float64, size)
+	if op == AggMin {
+		for i := range a.current {
+			a.current[i] = inf
+		}
+	}
+	if op == AggMax {
+		for i := range a.current {
+			a.current[i] = -inf
+		}
+	}
+	e.aggs[name] = a
+	e.aggOrder = append(e.aggOrder, name)
+}
+
+// SetVertices loads the vertex set. Vertex IDs must equal slice indices.
+// Must be called before Run.
+func (e *Engine[V, E, M]) SetVertices(vs []Vertex[V, E]) error {
+	for i := range vs {
+		if vs[i].ID != VertexID(i) {
+			return fmt.Errorf("pregel: vertex at index %d has ID %d; IDs must be dense", i, vs[i].ID)
+		}
+	}
+	e.vertices = vs
+	return nil
+}
+
+// NumVertices returns the number of loaded vertices.
+func (e *Engine[V, E, M]) NumVertices() int { return len(e.vertices) }
+
+// NumWorkers returns the configured worker count.
+func (e *Engine[V, E, M]) NumWorkers() int { return e.cfg.NumWorkers }
+
+// Vertices exposes the vertex slice after a run (read-only by convention).
+func (e *Engine[V, E, M]) Vertices() []Vertex[V, E] { return e.vertices }
+
+// Stats returns per-superstep accounting collected during Run.
+func (e *Engine[V, E, M]) Stats() []SuperstepStats { return e.stats }
+
+// AggregatedValue returns the current merged value of the named aggregator
+// (a copy).
+func (e *Engine[V, E, M]) AggregatedValue(name string) []float64 {
+	a, ok := e.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+	}
+	out := make([]float64, a.size)
+	copy(out, a.current)
+	return out
+}
+
+// WorkerOf returns the worker owning vertex v (valid after Run starts).
+func (e *Engine[V, E, M]) WorkerOf(v VertexID) int { return int(e.place[v]) }
+
+// ErrNoVertices is returned by Run when no vertex set was loaded.
+var ErrNoVertices = errors.New("pregel: no vertices loaded")
+
+// Run executes supersteps until every vertex has halted with no messages in
+// flight, the master halts the computation, or MaxSupersteps is reached.
+// It returns the number of supersteps executed.
+func (e *Engine[V, E, M]) Run() (int, error) {
+	if len(e.vertices) == 0 {
+		return 0, ErrNoVertices
+	}
+	e.initPlacement()
+	e.initWorkers()
+	e.inbox = make([][]M, len(e.vertices))
+
+	for e.superstep = 0; e.superstep < e.cfg.MaxSupersteps; e.superstep++ {
+		active := e.countActive()
+		if active == 0 && e.superstep > 0 {
+			return e.superstep, nil
+		}
+		e.runSuperstep()
+		if mp, ok := e.prog.(MasterProgram); ok {
+			m := &Master{aggs: e.aggs, numVertices: len(e.vertices), superstep: e.superstep}
+			mp.MasterCompute(m)
+			if m.halted {
+				return e.superstep + 1, nil
+			}
+		}
+	}
+	return e.superstep, nil
+}
+
+func (e *Engine[V, E, M]) initPlacement() {
+	n := len(e.vertices)
+	w := e.cfg.NumWorkers
+	e.place = make([]int32, n)
+	e.byWorker = make([][]VertexID, w)
+	placeFn := e.cfg.Placement
+	if placeFn == nil {
+		chunk := (n + w - 1) / w
+		placeFn = func(v VertexID) int { return int(v) / chunk }
+	}
+	for v := 0; v < n; v++ {
+		wk := placeFn(VertexID(v))
+		if wk < 0 || wk >= w {
+			wk = ((wk % w) + w) % w
+		}
+		e.place[v] = int32(wk)
+		e.byWorker[wk] = append(e.byWorker[wk], VertexID(v))
+	}
+}
+
+func (e *Engine[V, E, M]) initWorkers() {
+	w := e.cfg.NumWorkers
+	e.workerState = make([]any, w)
+	e.workerRand = make([]*rng.Source, w)
+	master := rng.New(e.cfg.Seed)
+	for i := 0; i < w; i++ {
+		e.workerRand[i] = master.Split()
+	}
+	if wi, ok := e.prog.(WorkerInitializer); ok {
+		for i := 0; i < w; i++ {
+			e.workerState[i] = wi.InitWorker(i, w)
+		}
+	}
+	for _, a := range e.aggs {
+		a.partials = make([][]float64, w)
+		for i := 0; i < w; i++ {
+			a.partials[i] = make([]float64, a.size)
+		}
+		a.resetPartials()
+	}
+}
+
+func (e *Engine[V, E, M]) countActive() int64 {
+	var active int64
+	for i := range e.vertices {
+		if !e.vertices[i].halted || len(e.inbox[i]) > 0 {
+			active++
+		}
+	}
+	return active
+}

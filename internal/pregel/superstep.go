@@ -1,0 +1,279 @@
+package pregel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// addrMsg is a message in flight, addressed to a vertex.
+type addrMsg[M any] struct {
+	to      VertexID
+	payload M
+}
+
+// Context is the per-worker view handed to Compute. It is valid only for
+// the duration of the Compute call chain on its worker and must not be
+// retained.
+type Context[V, E, M any] struct {
+	engine   *Engine[V, E, M]
+	workerID int
+	out      [][]addrMsg[M] // indexed by destination worker
+	sentLoc  int64
+	sentRem  int64
+	edges    int64
+	computed int64
+	rand     *rng.Source
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context[V, E, M]) Superstep() int { return c.engine.superstep }
+
+// NumVertices returns the global vertex count.
+func (c *Context[V, E, M]) NumVertices() int { return len(c.engine.vertices) }
+
+// NumWorkers returns the worker count.
+func (c *Context[V, E, M]) NumWorkers() int { return c.engine.cfg.NumWorkers }
+
+// WorkerID returns the executing worker's ID.
+func (c *Context[V, E, M]) WorkerID() int { return c.workerID }
+
+// WorkerState returns this worker's shared state, created by the program's
+// InitWorker (nil if the program is not a WorkerInitializer). All vertices
+// computed on the same worker see the same value — this is the mechanism
+// behind §IV-A4's asynchronous per-worker computation.
+func (c *Context[V, E, M]) WorkerState() any { return c.engine.workerState[c.workerID] }
+
+// Rand returns this worker's deterministic random stream.
+func (c *Context[V, E, M]) Rand() *rng.Source { return c.rand }
+
+// SendTo queues a message for delivery to dst at the next superstep.
+func (c *Context[V, E, M]) SendTo(dst VertexID, msg M) {
+	w := c.engine.place[dst]
+	c.out[w] = append(c.out[w], addrMsg[M]{to: dst, payload: msg})
+	if int(w) == c.workerID {
+		c.sentLoc++
+	} else {
+		c.sentRem++
+	}
+}
+
+// Aggregate contributes value to element idx of the named aggregator. The
+// contribution becomes visible in the merged value after the barrier.
+func (c *Context[V, E, M]) Aggregate(name string, idx int, value float64) {
+	a, ok := c.engine.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+	}
+	p := a.partials[c.workerID]
+	switch a.op {
+	case AggSum:
+		p[idx] += value
+	case AggMin:
+		if value < p[idx] {
+			p[idx] = value
+		}
+	case AggMax:
+		if value > p[idx] {
+			p[idx] = value
+		}
+	}
+}
+
+// AggregatedValue returns element idx of the named aggregator as merged at
+// the end of the previous superstep (Pregel semantics).
+func (c *Context[V, E, M]) AggregatedValue(name string, idx int) float64 {
+	a, ok := c.engine.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+	}
+	return a.current[idx]
+}
+
+// AggregatedVector copies the named aggregator's full merged vector into
+// dst (which must have the aggregator's size) and returns it.
+func (c *Context[V, E, M]) AggregatedVector(name string, dst []float64) []float64 {
+	a, ok := c.engine.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+	}
+	copy(dst, a.current)
+	return dst
+}
+
+// CountEdges lets Compute report how many edges it scanned; the cluster
+// cost model uses it as the compute term. Programs may skip it; the engine
+// then falls back to counting processed vertices.
+func (c *Context[V, E, M]) CountEdges(n int) { c.edges += int64(n) }
+
+// Master is the interface handed to MasterCompute between supersteps.
+type Master struct {
+	superstep   int
+	numVertices int
+	halted      bool
+	aggs        map[string]*aggregator
+}
+
+// Superstep returns the superstep that just finished.
+func (m *Master) Superstep() int { return m.superstep }
+
+// NumVertices returns the global vertex count.
+func (m *Master) NumVertices() int { return m.numVertices }
+
+// Halt stops the computation after this master compute.
+func (m *Master) Halt() { m.halted = true }
+
+// Agg returns the merged value of the named aggregator (live slice; treat
+// as read-only and use SetAgg to modify).
+func (m *Master) Agg(name string) []float64 {
+	a, ok := m.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+	}
+	return a.current
+}
+
+// SetAgg overwrites the named aggregator's merged value; vertices read it
+// during the next superstep. The Spinner master uses this to publish the
+// migration probabilities.
+func (m *Master) SetAgg(name string, v []float64) {
+	a, ok := m.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+	}
+	if len(v) != a.size {
+		panic(fmt.Sprintf("pregel: SetAgg(%q) size %d != %d", name, len(v), a.size))
+	}
+	copy(a.current, v)
+}
+
+// runSuperstep executes one BSP superstep: parallel compute, message
+// routing, aggregator merge.
+func (e *Engine[V, E, M]) runSuperstep() {
+	start := time.Now()
+	w := e.cfg.NumWorkers
+	ctxs := make([]*Context[V, E, M], w)
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		ctx := &Context[V, E, M]{engine: e, workerID: wk, rand: e.workerRand[wk]}
+		ctx.out = make([][]addrMsg[M], w)
+		ctxs[wk] = ctx
+		wg.Add(1)
+		go func(wk int, ctx *Context[V, E, M]) {
+			defer wg.Done()
+			for _, vid := range e.byWorker[wk] {
+				v := &e.vertices[vid]
+				msgs := e.inbox[vid]
+				if v.halted && len(msgs) == 0 {
+					continue
+				}
+				v.halted = false
+				ctx.computed++
+				e.prog.Compute(ctx, v, msgs)
+			}
+		}(wk, ctx)
+	}
+	wg.Wait()
+
+	// Accounting.
+	st := SuperstepStats{
+		Superstep:      e.superstep,
+		SentLocal:      make([]int64, w),
+		SentRemote:     make([]int64, w),
+		Received:       make([]int64, w),
+		ReceivedRemote: make([]int64, w),
+		ComputeEdges:   make([]int64, w),
+	}
+	for wk, ctx := range ctxs {
+		st.SentLocal[wk] = ctx.sentLoc
+		st.SentRemote[wk] = ctx.sentRem
+		st.ComputeEdges[wk] = ctx.edges
+	}
+
+	// Clear inboxes of vertices that just computed (they consumed them),
+	// then deliver fresh messages: each destination worker drains, in
+	// source-worker order for determinism, the outboxes addressed to it.
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for _, vid := range e.byWorker[wk] {
+				if len(e.inbox[vid]) > 0 {
+					e.inbox[vid] = e.inbox[vid][:0]
+				}
+			}
+			var received, receivedRemote int64
+			for src := 0; src < w; src++ {
+				remote := src != wk
+				for _, am := range ctxs[src].out[wk] {
+					received++
+					if remote {
+						receivedRemote++
+					}
+					box := e.inbox[am.to]
+					if e.combiner != nil && len(box) == 1 {
+						box[0] = e.combiner(box[0], am.payload)
+					} else {
+						box = append(box, am.payload)
+					}
+					e.inbox[am.to] = box
+					e.vertices[am.to].halted = false
+				}
+			}
+			st.Received[wk] = received
+			st.ReceivedRemote[wk] = receivedRemote
+		}(wk)
+	}
+	wg.Wait()
+
+	// Merge aggregators in registration order, worker order (deterministic).
+	for _, name := range e.aggOrder {
+		a := e.aggs[name]
+		merged := make([]float64, a.size)
+		switch a.op {
+		case AggMin:
+			for i := range merged {
+				merged[i] = inf
+			}
+		case AggMax:
+			for i := range merged {
+				merged[i] = -inf
+			}
+		}
+		for wk := 0; wk < w; wk++ {
+			p := a.partials[wk]
+			for i := range merged {
+				switch a.op {
+				case AggSum:
+					merged[i] += p[i]
+				case AggMin:
+					if p[i] < merged[i] {
+						merged[i] = p[i]
+					}
+				case AggMax:
+					if p[i] > merged[i] {
+						merged[i] = p[i]
+					}
+				}
+			}
+		}
+		if a.persistent {
+			for i := range merged {
+				a.current[i] += merged[i]
+			}
+		} else {
+			copy(a.current, merged)
+		}
+		a.resetPartials()
+	}
+
+	var active int64
+	for _, ctx := range ctxs {
+		active += ctx.computed
+	}
+	st.Active = active
+	st.Duration = time.Since(start)
+	e.stats = append(e.stats, st)
+}

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// The root package re-exports the library's public API so downstream users
+// import a single path. The implementation lives in internal/ packages;
+// these aliases are the supported surface.
+
+// Graph types.
+type (
+	// Graph is an adjacency-list graph (directed or undirected).
+	Graph = graph.Graph
+	// Weighted is the weighted undirected graph Spinner partitions,
+	// produced from a directed graph by Convert (Eq. 3 of the paper).
+	Weighted = graph.Weighted
+	// VertexID identifies a vertex; IDs are dense in [0, NumVertices).
+	VertexID = graph.VertexID
+	// Mutation is a batch of graph changes for incremental repartitioning.
+	Mutation = graph.Mutation
+	// WeightedEdgeRecord is an undirected edge with an explicit weight,
+	// used inside Mutation batches.
+	WeightedEdgeRecord = graph.WeightedEdgeRecord
+)
+
+// Partitioner types.
+type (
+	// Options configures a Partitioner; see DefaultOptions.
+	Options = core.Options
+	// Partitioner computes k-way balanced partitionings with Spinner.
+	Partitioner = core.Partitioner
+	// Result is the outcome of a partitioning run.
+	Result = core.Result
+	// IterationMetrics traces one LPA iteration (the Fig. 4 curves).
+	IterationMetrics = core.IterationMetrics
+)
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int, directed bool) *Graph { return graph.New(n, directed) }
+
+// Convert turns a (possibly directed) graph into the weighted undirected
+// form Spinner partitions, implementing Eq. 3 of the paper.
+func Convert(g *Graph) *Weighted { return graph.Convert(g) }
+
+// DefaultOptions returns the paper's experiment configuration for k
+// partitions: c = 1.05, ε = 0.001, w = 5.
+func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
+
+// NewPartitioner validates opts and returns a Partitioner.
+func NewPartitioner(opts Options) (*Partitioner, error) { return core.NewPartitioner(opts) }
+
+// Phi returns the ratio of local edge weight of a labeling (Eq. 16).
+func Phi(w *Weighted, labels []int32) float64 { return metrics.Phi(w, labels) }
+
+// Rho returns the maximum normalized load of a labeling (Eq. 16).
+func Rho(w *Weighted, labels []int32, k int) float64 { return metrics.Rho(w, labels, k) }
+
+// Difference returns the fraction of vertices whose label differs between
+// two labelings (§V-D, partitioning stability).
+func Difference(a, b []int32) float64 { return metrics.Difference(a, b) }
+
+// WattsStrogatz generates the paper's synthetic scalability workload
+// (§V-B): a directed small-world graph with out-degree k and rewiring
+// probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// BarabasiAlbert generates a hub-skewed preferential-attachment graph
+// (a follower-network surrogate).
+func BarabasiAlbert(n, m int, seed uint64) *Graph { return gen.BarabasiAlbert(n, m, seed) }
