@@ -1,0 +1,26 @@
+# Development targets for the Spinner reproduction.
+#
+#   make test   — tier-1 gate: go build ./... && go test ./...
+#   make vet    — go vet ./...
+#   make bench  — vet + tier-1 + BenchmarkSpinnerIteration (-benchmem,
+#                 -count=5), recording results into BENCH_pr1.json
+#   make check  — vet + test
+
+.PHONY: all check build vet test bench
+
+all: check
+
+check: vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go build ./...
+	go test ./...
+
+bench:
+	./scripts/bench.sh -l current -o BENCH_pr1.json

@@ -16,4 +16,30 @@
 //	go test -bench=. -benchmem
 //
 // or run the CLI: go run ./cmd/experiments -exp all.
+//
+// # Performance architecture
+//
+// Superstep cost in a Pregel system is dominated by message traffic and
+// barrier overhead, so the engine's hot path is built around reusable,
+// engine-owned buffers rather than per-superstep allocation:
+//
+//   - Message planes (worker outboxes, per-vertex inboxes backed by
+//     per-worker flat arenas, combiner staging slots) are created once per
+//     run and truncated in place between supersteps — steady-state
+//     supersteps allocate nothing on the message path.
+//   - With a message combiner installed, messages are combined on the send
+//     side: each worker stages one merged payload per destination vertex,
+//     so both allocation and cross-worker delivery volume shrink before
+//     the barrier (see internal/pregel's package comment for when each
+//     path is taken).
+//   - Active-vertex tracking is incremental — workers count survivors at
+//     compute time and reactivations at delivery time — so the engine
+//     never rescans the vertex set between supersteps.
+//   - Graphs built via graph.Builder are CSR-backed: adjacency lives in
+//     one flat, sorted target array, keeping LPA edge scans cache-friendly
+//     and giving binary-search HasEdge.
+//
+// The `make bench` target records BenchmarkSpinnerIteration under
+// -benchmem into BENCH_pr1.json; future performance work is measured
+// against that trajectory.
 package repro

@@ -184,8 +184,12 @@ func TestPlacementReducesRemoteMessages(t *testing.T) {
 		t.Fatalf("partitioned remote=%d not fewer than hash remote=%d",
 			partRes.RemoteMessages(), hashRes.RemoteMessages())
 	}
-	if partRes.TotalMessages() != hashRes.TotalMessages() {
-		t.Fatalf("total messages differ: %d vs %d (placement must not change totals)",
+	// PageRank installs a sum combiner, and the engine combines on the send
+	// side: messages that share a (worker, destination) pair collapse before
+	// they are counted. Locality-aware placement therefore reduces — never
+	// increases — the total physical traffic relative to hash placement.
+	if partRes.TotalMessages() > hashRes.TotalMessages() {
+		t.Fatalf("partitioned total=%d exceeds hash total=%d (send-side combining should shrink totals under better placement)",
 			partRes.TotalMessages(), hashRes.TotalMessages())
 	}
 }

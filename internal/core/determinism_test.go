@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestPartitionDeterminismRegression pins the engine-rework guarantee:
+// for a fixed Options.Seed, Partition and PartitionWeighted must return
+// bit-identical labels — and identical per-run message totals, superstep
+// counts and iteration histories — across repeated runs, at both 1 and 4
+// workers. The asynchronous per-worker load view (§IV-A4) makes results
+// legitimately depend on the worker count, so runs are compared within
+// each worker count, not across them.
+func TestPartitionDeterminismRegression(t *testing.T) {
+	g := gen.WattsStrogatz(2000, 8, 0.3, 7)
+	w := graph.Convert(g)
+	for _, workers := range []int{1, 4} {
+		for name, run := range map[string]func() (*Result, error){
+			"Partition": func() (*Result, error) {
+				opts := DefaultOptions(8)
+				opts.Seed = 42
+				opts.NumWorkers = workers
+				p, err := NewPartitioner(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p.Partition(g)
+			},
+			"PartitionWeighted": func() (*Result, error) {
+				opts := DefaultOptions(8)
+				opts.Seed = 42
+				opts.NumWorkers = workers
+				p, err := NewPartitioner(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p.PartitionWeighted(w)
+			},
+		} {
+			a, err := run()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			b, err := run()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if a.Supersteps != b.Supersteps || a.Iterations != b.Iterations {
+				t.Fatalf("%s workers=%d: supersteps %d/%d iterations %d/%d differ",
+					name, workers, a.Supersteps, b.Supersteps, a.Iterations, b.Iterations)
+			}
+			if a.Messages != b.Messages {
+				t.Fatalf("%s workers=%d: message totals %d vs %d differ", name, workers, a.Messages, b.Messages)
+			}
+			for i := range a.Labels {
+				if a.Labels[i] != b.Labels[i] {
+					t.Fatalf("%s workers=%d: label of vertex %d differs: %d vs %d",
+						name, workers, i, a.Labels[i], b.Labels[i])
+				}
+			}
+			for i := range a.History {
+				if a.History[i].Score != b.History[i].Score || a.History[i].Migrations != b.History[i].Migrations {
+					t.Fatalf("%s workers=%d: iteration %d metrics differ", name, workers, i)
+				}
+			}
+		}
+	}
+}

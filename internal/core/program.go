@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/pregel"
 )
@@ -108,12 +108,14 @@ func (p *program) register(e *pregel.Engine[vval, eval, msg]) {
 	e.RegisterAggregator(aggTotal, pregel.AggSum, 1, true)
 }
 
-// InitWorker implements pregel.WorkerInitializer.
+// InitWorker implements pregel.WorkerInitializer. The scratch buffers are
+// sized for k labels up front so the per-vertex hot path never grows them.
 func (p *program) InitWorker(workerID, numWorkers int) any {
 	return &workerScratch{
 		refreshedAt: -1,
 		localLoads:  make([]float64, p.k),
 		labelW:      make([]float64, p.k),
+		touched:     make([]int32, 0, p.k),
 	}
 }
 
@@ -171,7 +173,7 @@ func (p *program) neighborDiscovery(ctx *pregel.Context[vval, eval, msg], v *pre
 // neighbors. Edges are sorted by target so later label updates can use
 // binary search.
 func (p *program) initialize(ctx *pregel.Context[vval, eval, msg], v *pregel.Vertex[vval, eval]) {
-	sort.Slice(v.Edges, func(i, j int) bool { return v.Edges[i].To < v.Edges[j].To })
+	slices.SortFunc(v.Edges, func(a, b pregel.Edge[eval]) int { return int(a.To) - int(b.To) })
 	var degW float64
 	for i := range v.Edges {
 		degW += float64(v.Edges[i].Value.weight)
@@ -263,21 +265,8 @@ func (p *program) computeScores(ctx *pregel.Context[vval, eval, msg], v *pregel.
 		// Score against the synchronized loads directly.
 		loads = nil
 	}
-	loadOf := func(l int32) float64 {
-		if loads != nil {
-			return loads[l]
-		}
-		return ctx.AggregatedValue(aggLoads, int(l))
-	}
-	score := func(l int32) float64 {
-		s := -loadOf(l) / p.capacities[l]
-		if normDeg > 0 {
-			s += labelW[l] / normDeg
-		}
-		return s
-	}
 
-	curScore := score(cur)
+	curScore := p.labelScore(ctx, loads, labelW, normDeg, cur)
 	ctx.Aggregate(aggScore, 0, curScore)
 	ctx.Aggregate(aggLocalW, 0, labelW[cur])
 
@@ -303,7 +292,7 @@ func (p *program) computeScores(ctx *pregel.Context[vval, eval, msg], v *pregel.
 		if l == cur {
 			continue
 		}
-		s := score(l)
+		s := p.labelScore(ctx, loads, labelW, normDeg, l)
 		switch {
 		case s > bestScore+tieEps:
 			best, bestScore, ties = l, s, 1
@@ -332,6 +321,24 @@ func (p *program) computeScores(ctx *pregel.Context[vval, eval, msg], v *pregel.
 		labelW[l] = 0
 	}
 	ws.touched = touched[:0]
+}
+
+// labelScore evaluates score''(v, l) (Eq. 8) against either the worker's
+// asynchronous load view (loads non-nil) or the synchronized aggregator.
+// It is a method, not a closure, to keep the per-vertex hot path free of
+// capture allocations.
+func (p *program) labelScore(ctx *pregel.Context[vval, eval, msg], loads, labelW []float64, normDeg float64, l int32) float64 {
+	b := 0.0
+	if loads != nil {
+		b = loads[l]
+	} else {
+		b = ctx.AggregatedValue(aggLoads, int(l))
+	}
+	s := -b / p.capacities[l]
+	if normDeg > 0 {
+		s += labelW[l] / normDeg
+	}
+	return s
 }
 
 // computeMigrations is the second superstep of an iteration: each candidate

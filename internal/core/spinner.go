@@ -145,15 +145,32 @@ func (p *Partitioner) run(prog *program, vs []pregel.Vertex[vval, eval]) (*Resul
 // the conversion supersteps then fix up weights and reverse edges.
 // Self-loops are dropped.
 func verticesFromGraph(g *graph.Graph) []pregel.Vertex[vval, eval] {
-	vs := make([]pregel.Vertex[vval, eval], g.NumVertices())
+	n := g.NumVertices()
+	vs := make([]pregel.Vertex[vval, eval], n)
+	// All edge lists live in one flat arena, each vertex owning a
+	// capacity-clamped window with 2× headroom so NeighborDiscovery can
+	// append reverse edges in place; a vertex whose in-degree outruns the
+	// headroom copies out of the arena on growth, which is safe because the
+	// windows cannot overlap.
+	var totalDeg int
+	for i := 0; i < n; i++ {
+		totalDeg += g.OutDegree(graph.VertexID(i))
+	}
+	arena := make([]pregel.Edge[eval], 0, 2*totalDeg)
+	off := 0
 	for i := range vs {
 		vs[i].ID = graph.VertexID(i)
-		for _, to := range g.Neighbors(graph.VertexID(i)) {
+		nbrs := g.Neighbors(graph.VertexID(i))
+		window := 2 * len(nbrs)
+		es := arena[off:off : off+window]
+		off += window
+		for _, to := range nbrs {
 			if to == graph.VertexID(i) {
 				continue
 			}
-			vs[i].Edges = append(vs[i].Edges, pregel.Edge[eval]{To: to, Value: eval{weight: 1, label: -1}})
+			es = append(es, pregel.Edge[eval]{To: to, Value: eval{weight: 1, label: -1}})
 		}
+		vs[i].Edges = es
 	}
 	// Undirected graphs store both directions, so NeighborDiscovery sees a
 	// reciprocal announcement for every edge and assigns weight 2, matching
@@ -161,16 +178,27 @@ func verticesFromGraph(g *graph.Graph) []pregel.Vertex[vval, eval] {
 	return vs
 }
 
-// verticesFromWeighted loads a converted weighted undirected graph.
+// verticesFromWeighted loads a converted weighted undirected graph. The
+// weighted path skips the conversion supersteps, so edge lists never grow
+// and the arena windows are exact.
 func verticesFromWeighted(w *graph.Weighted) []pregel.Vertex[vval, eval] {
-	vs := make([]pregel.Vertex[vval, eval], w.NumVertices())
+	n := w.NumVertices()
+	vs := make([]pregel.Vertex[vval, eval], n)
+	var totalDeg int
+	for i := 0; i < n; i++ {
+		totalDeg += w.Degree(graph.VertexID(i))
+	}
+	arena := make([]pregel.Edge[eval], totalDeg)
+	off := 0
 	for i := range vs {
 		vs[i].ID = graph.VertexID(i)
 		arcs := w.Neighbors(graph.VertexID(i))
-		vs[i].Edges = make([]pregel.Edge[eval], len(arcs))
+		es := arena[off : off+len(arcs) : off+len(arcs)]
+		off += len(arcs)
 		for j, a := range arcs {
-			vs[i].Edges[j] = pregel.Edge[eval]{To: a.To, Value: eval{weight: a.Weight, label: -1}}
+			es[j] = pregel.Edge[eval]{To: a.To, Value: eval{weight: a.Weight, label: -1}}
 		}
+		vs[i].Edges = es
 	}
 	return vs
 }

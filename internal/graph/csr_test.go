@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestBuildCSRSortedAdjacency: Builder.Build must produce ascending
+// adjacency lists (the CSR fill is a counting sort) for both directed and
+// undirected graphs, and report Sorted().
+func TestBuildCSRSortedAdjacency(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		b := NewBuilder(0, directed)
+		// Adversarial insertion order, duplicates and a self-loop.
+		edges := []Edge{{5, 1}, {0, 3}, {3, 0}, {2, 2}, {1, 5}, {4, 0}, {0, 3}, {5, 2}, {0, 4}}
+		for _, e := range edges {
+			b.Add(e.From, e.To)
+		}
+		g := b.Build()
+		if !g.Sorted() {
+			t.Fatalf("directed=%v: built graph not marked sorted", directed)
+		}
+		for u := 0; u < g.NumVertices(); u++ {
+			nbrs := g.Neighbors(VertexID(u))
+			if !slices.IsSorted(nbrs) {
+				t.Fatalf("directed=%v: adjacency of %d not sorted: %v", directed, u, nbrs)
+			}
+			for i := 1; i < len(nbrs); i++ {
+				if nbrs[i] == nbrs[i-1] {
+					t.Fatalf("directed=%v: duplicate neighbor %d of %d", directed, nbrs[i], u)
+				}
+			}
+		}
+		// Self-loop dropped, duplicates collapsed.
+		if g.HasEdge(2, 2) {
+			t.Fatalf("directed=%v: self-loop retained", directed)
+		}
+	}
+}
+
+// TestBuildCSREquivalence: the CSR construction must produce the same
+// graph (arc count, membership, adjacency) as incremental AddEdge of the
+// deduplicated edge set.
+func TestBuildCSREquivalence(t *testing.T) {
+	b := NewBuilder(6, false)
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}, {1, 4}}
+	for _, e := range edges {
+		b.Add(e.From, e.To)
+		b.Add(e.To, e.From) // reverse duplicates must collapse
+	}
+	got := b.Build()
+	want := New(6, false)
+	for _, e := range edges {
+		want.AddEdge(e.From, e.To)
+	}
+	want.SortAdjacency()
+	if got.NumArcs() != want.NumArcs() {
+		t.Fatalf("arcs %d vs %d", got.NumArcs(), want.NumArcs())
+	}
+	for u := 0; u < 6; u++ {
+		if !slices.Equal(got.Neighbors(VertexID(u)), want.Neighbors(VertexID(u))) {
+			t.Fatalf("adjacency of %d: %v vs %v", u, got.Neighbors(VertexID(u)), want.Neighbors(VertexID(u)))
+		}
+	}
+}
+
+// TestHasEdgeSortedTracking: HasEdge must stay correct through the
+// sorted→unsorted→sorted lifecycle, and AddEdge on a CSR-backed graph must
+// not corrupt a neighboring vertex's window.
+func TestHasEdgeSortedTracking(t *testing.T) {
+	b := NewBuilder(5, true)
+	b.Add(0, 2)
+	b.Add(0, 4)
+	b.Add(1, 3)
+	g := b.Build()
+	if !g.HasEdge(0, 2) || !g.HasEdge(0, 4) || g.HasEdge(0, 3) {
+		t.Fatal("binary-search HasEdge wrong on built graph")
+	}
+	// AddEdge invalidates sortedness (3 < 4 would break binary search if
+	// the flag were kept) and must copy vertex 0's window out of the CSR
+	// arena rather than overwrite vertex 1's.
+	g.AddEdge(0, 3)
+	if g.Sorted() {
+		t.Fatal("AddEdge left graph marked sorted")
+	}
+	if !g.HasEdge(0, 3) || !g.HasEdge(0, 2) {
+		t.Fatal("linear HasEdge wrong after AddEdge")
+	}
+	if !slices.Equal(g.Neighbors(1), []VertexID{3}) {
+		t.Fatalf("vertex 1 adjacency corrupted by vertex 0's append: %v", g.Neighbors(1))
+	}
+	g.SortAdjacency()
+	if !g.Sorted() || !g.HasEdge(0, 3) || g.HasEdge(0, 1) {
+		t.Fatal("HasEdge wrong after re-sorting")
+	}
+}

@@ -11,7 +11,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
@@ -28,6 +28,13 @@ type Edge struct {
 // out-neighbors of u. For undirected graphs every edge {u,v} is stored in
 // both adj[u] and adj[v].
 //
+// Graphs produced by Builder.Build are backed by a CSR (compressed sparse
+// row) arena: one flat target array plus per-vertex offset windows that the
+// adj slices alias. The flat layout keeps the LPA edge scans cache-friendly
+// while the adj indirection preserves the Neighbors API; the windows are
+// capacity-clamped, so a later AddEdge copies the touched list out of the
+// arena instead of corrupting its neighbor.
+//
 // Graph is immutable-by-convention after construction except through the
 // explicit mutation API in dynamic.go; concurrent readers are safe as long
 // as no mutation is in flight.
@@ -35,6 +42,7 @@ type Graph struct {
 	directed bool
 	adj      [][]VertexID
 	numArcs  int64 // number of stored adjacency entries
+	sorted   bool  // every adjacency list is ascending (enables binary search)
 }
 
 // New returns an empty graph with n vertices and no edges.
@@ -72,8 +80,18 @@ func (g *Graph) OutDegree(u VertexID) int { return len(g.adj[u]) }
 // the graph and must not be modified.
 func (g *Graph) Neighbors(u VertexID) []VertexID { return g.adj[u] }
 
-// HasEdge reports whether the arc (u,v) is present. O(deg(u)).
+// Sorted reports whether every adjacency list is known to be ascending
+// (set by Builder.Build and SortAdjacency, cleared by AddEdge).
+func (g *Graph) Sorted() bool { return g.sorted }
+
+// HasEdge reports whether the arc (u,v) is present. O(log deg(u)) when the
+// adjacency is sorted (after Builder.Build or SortAdjacency), O(deg(u))
+// otherwise.
 func (g *Graph) HasEdge(u, v VertexID) bool {
+	if g.sorted {
+		_, ok := slices.BinarySearch(g.adj[u], v)
+		return ok
+	}
 	for _, w := range g.adj[u] {
 		if w == v {
 			return true
@@ -84,7 +102,9 @@ func (g *Graph) HasEdge(u, v VertexID) bool {
 
 // AddEdge appends the arc (u,v); for undirected graphs it also appends
 // (v,u). It does not deduplicate — use a Builder for deduplicated
-// construction. Panics if an endpoint is out of range.
+// construction. Panics if an endpoint is out of range. Appending
+// invalidates sortedness; call SortAdjacency again before relying on
+// binary-search membership.
 func (g *Graph) AddEdge(u, v VertexID) {
 	g.checkVertex(u)
 	g.checkVertex(v)
@@ -94,6 +114,7 @@ func (g *Graph) AddEdge(u, v VertexID) {
 		g.adj[v] = append(g.adj[v], u)
 		g.numArcs++
 	}
+	g.sorted = false
 }
 
 // AddVertices grows the graph by n isolated vertices and returns the ID of
@@ -106,7 +127,7 @@ func (g *Graph) AddVertices(n int) VertexID {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{directed: g.directed, numArcs: g.numArcs, adj: make([][]VertexID, len(g.adj))}
+	c := &Graph{directed: g.directed, numArcs: g.numArcs, sorted: g.sorted, adj: make([][]VertexID, len(g.adj))}
 	for i, nbrs := range g.adj {
 		c.adj[i] = append([]VertexID(nil), nbrs...)
 	}
@@ -114,11 +135,13 @@ func (g *Graph) Clone() *Graph {
 }
 
 // SortAdjacency sorts every adjacency list ascending. Useful for
-// deterministic iteration and for binary-search membership tests.
+// deterministic iteration and for binary-search membership tests
+// (HasEdge switches to binary search afterwards).
 func (g *Graph) SortAdjacency() {
 	for _, nbrs := range g.adj {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		slices.Sort(nbrs)
 	}
+	g.sorted = true
 }
 
 // Edges calls fn for every stored arc (u,v). For undirected graphs each
@@ -170,8 +193,14 @@ func (b *Builder) Add(u, v VertexID) {
 
 // Build deduplicates the accumulated edges and returns the Graph.
 // For undirected graphs, (u,v) and (v,u) are considered duplicates.
+//
+// The result is CSR-backed: all adjacency entries live in one flat target
+// array, each adj[u] aliasing its offset window, and every list is sorted
+// ascending — so built graphs get cache-friendly edge scans and
+// binary-search HasEdge for free.
 func (b *Builder) Build() *Graph {
 	g := New(b.n, b.directed)
+	g.sorted = true
 	if len(b.edges) == 0 {
 		return g
 	}
@@ -185,20 +214,49 @@ func (b *Builder) Build() *Graph {
 		}
 		norm = append(norm, e)
 	}
-	sort.Slice(norm, func(i, j int) bool {
-		if norm[i].From != norm[j].From {
-			return norm[i].From < norm[j].From
+	slices.SortFunc(norm, func(a, c Edge) int {
+		if a.From != c.From {
+			return int(a.From) - int(c.From)
 		}
-		return norm[i].To < norm[j].To
+		return int(a.To) - int(c.To)
 	})
-	var prev Edge
-	first := true
+	norm = slices.Compact(norm)
+
+	// Degree census, then offsets, then a fill pass. Iterating the sorted
+	// unique edge list keeps every window ascending: for directed graphs the
+	// targets of u arrive in To order; for undirected graphs adj[v] first
+	// receives the smaller endpoints (From ascending while v is the To side)
+	// and then, once From reaches v, the larger ones in To order.
+	// Offsets are int64: an undirected graph stores two arcs per edge, so
+	// billion-edge inputs overflow 32-bit arithmetic.
+	deg := make([]int64, b.n+1)
 	for _, e := range norm {
-		if !first && e == prev {
-			continue
+		deg[e.From]++
+		if !b.directed {
+			deg[e.To]++
 		}
-		g.AddEdge(e.From, e.To)
-		prev, first = e, false
+	}
+	off := make([]int64, b.n+1)
+	var total int64
+	for v := 0; v < b.n; v++ {
+		off[v] = total
+		total += deg[v]
+	}
+	off[b.n] = total
+	csr := make([]VertexID, total)
+	cur := deg[:b.n]
+	copy(cur, off[:b.n])
+	for _, e := range norm {
+		csr[cur[e.From]] = e.To
+		cur[e.From]++
+		if !b.directed {
+			csr[cur[e.To]] = e.From
+			cur[e.To]++
+		}
+	}
+	g.numArcs = total
+	for v := 0; v < b.n; v++ {
+		g.adj[v] = csr[off[v]:off[v+1]:off[v+1]]
 	}
 	return g
 }

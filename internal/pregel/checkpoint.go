@@ -116,11 +116,13 @@ func (e *Engine[V, E, M]) ResumeRun() (int, error) {
 	if e.inbox == nil {
 		e.inbox = make([][]M, len(e.vertices))
 	}
+	// initMessagePlane's seeding scan rebuilds the pending lists and the
+	// active count from the restored halted flags and inboxes.
+	e.initMessagePlane()
 	start := e.restoredStep
 	e.restoredStep = 0
 	for e.superstep = start; e.superstep < e.cfg.MaxSupersteps; e.superstep++ {
-		active := e.countActive()
-		if active == 0 {
+		if e.active == 0 {
 			return e.superstep, nil
 		}
 		e.runSuperstep()

@@ -24,6 +24,32 @@
 // Workers are goroutines; vertex placement is controlled by a pluggable
 // placement function so experiments can compare hash placement against
 // Spinner-derived placement exactly as §V-F does.
+//
+// # Message-plane architecture
+//
+// The superstep hot path is allocation-free in steady state. All message
+// buffers are engine-owned arenas created once per Run and truncated —
+// never reallocated — between supersteps:
+//
+//   - Each worker keeps one reusable Context whose per-destination-worker
+//     outboxes retain their capacity across supersteps.
+//   - Per-vertex inboxes are truncated in place when consumed; the engine
+//     tracks which vertices hold pending messages in per-worker lists, so
+//     both the clear and the re-fill are O(messages delivered), not O(n).
+//   - When a Combiner is installed, SendTo combines on the send side: each
+//     worker stages at most one merged payload per destination vertex
+//     (epoch-stamped slots, no clearing pass), and delivery moves one
+//     message per (source worker, destination) pair. Combiners must be
+//     commutative and associative, as in Giraph; SentLocal/SentRemote and
+//     Received then count post-combining traffic, which is what would
+//     cross the wire. Without a combiner every message is queued and
+//     delivered individually, uncombined.
+//   - Vote-to-halt bookkeeping is incremental: workers count vertices that
+//     stay active at compute time and vertices they reactivate at delivery
+//     time, so the engine never rescans the vertex set to decide whether
+//     to run another superstep.
+//   - Aggregator merging reuses per-aggregator scratch vectors and runs
+//     the independent aggregators in parallel at the barrier.
 package pregel
 
 import (
@@ -89,6 +115,9 @@ type WorkerInitializer interface {
 
 // Combiner optionally merges messages addressed to the same vertex
 // (Giraph's message combiner). Used by SSSP (min) and PageRank (sum).
+// Combiners must be commutative and associative: with one installed the
+// engine combines on the send side, per worker, and merges the per-worker
+// results in worker order at delivery.
 type Combiner[M any] func(a, b M) M
 
 // Config configures an Engine.
@@ -121,6 +150,7 @@ type aggregator struct {
 	persistent bool
 	current    []float64   // readable value (previous superstep's merge)
 	partials   [][]float64 // one accumulator per worker
+	scratch    []float64   // reusable merge buffer (barrier only)
 }
 
 func (a *aggregator) resetPartials() {
@@ -173,7 +203,12 @@ type Engine[V, E, M any] struct {
 	place    []int32        // vertex -> worker
 	byWorker [][]VertexID   // worker -> owned vertices (deterministic order)
 
-	inbox [][]M // vertex -> pending messages (delivered next superstep)
+	inbox      [][]M               // vertex -> pending messages (delivered next superstep)
+	inboxArena [][]M               // worker -> flat reusable message storage backing its inboxes
+	inboxCount []int32             // vertex -> messages delivered this superstep (zeroed after use)
+	pending    [][]VertexID        // worker -> owned vertices with non-empty inboxes
+	ctxs       []*Context[V, E, M] // reusable per-worker contexts (outbox arenas)
+	active     int64               // incremental active count for the next superstep
 
 	aggs     map[string]*aggregator
 	aggOrder []string
@@ -282,10 +317,10 @@ func (e *Engine[V, E, M]) Run() (int, error) {
 	e.initPlacement()
 	e.initWorkers()
 	e.inbox = make([][]M, len(e.vertices))
+	e.initMessagePlane()
 
 	for e.superstep = 0; e.superstep < e.cfg.MaxSupersteps; e.superstep++ {
-		active := e.countActive()
-		if active == 0 && e.superstep > 0 {
+		if e.active == 0 && e.superstep > 0 {
 			return e.superstep, nil
 		}
 		e.runSuperstep()
@@ -338,16 +373,44 @@ func (e *Engine[V, E, M]) initWorkers() {
 		for i := 0; i < w; i++ {
 			a.partials[i] = make([]float64, a.size)
 		}
+		a.scratch = make([]float64, a.size)
 		a.resetPartials()
 	}
 }
 
-func (e *Engine[V, E, M]) countActive() int64 {
-	var active int64
+// initMessagePlane builds the reusable per-worker contexts and the pending
+// lists, and seeds the incremental active count with one full scan (the
+// only one the engine ever performs; the scan is non-trivial only when
+// resuming from a checkpoint with restored halted flags and inboxes).
+func (e *Engine[V, E, M]) initMessagePlane() {
+	w := e.cfg.NumWorkers
+	n := len(e.vertices)
+	e.pending = make([][]VertexID, w)
+	if e.combiner == nil {
+		// The arena delivery path is only taken without a combiner; the
+		// combiner path stages into per-context slots instead.
+		e.inboxArena = make([][]M, w)
+		e.inboxCount = make([]int32, n)
+	}
+	e.ctxs = make([]*Context[V, E, M], w)
+	for wk := 0; wk < w; wk++ {
+		ctx := &Context[V, E, M]{engine: e, workerID: wk, rand: e.workerRand[wk]}
+		ctx.out = make([][]addrMsg[M], w)
+		if e.combiner != nil {
+			ctx.combVal = make([]M, n)
+			ctx.combEpoch = make([]uint32, n)
+			ctx.combDst = make([][]VertexID, w)
+		}
+		e.ctxs[wk] = ctx
+	}
+	e.active = 0
 	for i := range e.vertices {
+		if len(e.inbox[i]) > 0 {
+			wk := e.place[i]
+			e.pending[wk] = append(e.pending[wk], VertexID(i))
+		}
 		if !e.vertices[i].halted || len(e.inbox[i]) > 0 {
-			active++
+			e.active++
 		}
 	}
-	return active
 }

@@ -16,16 +16,45 @@ type addrMsg[M any] struct {
 
 // Context is the per-worker view handed to Compute. It is valid only for
 // the duration of the Compute call chain on its worker and must not be
-// retained.
+// retained. The engine keeps one Context per worker alive across
+// supersteps so its outbox arenas retain their capacity; reset truncates
+// them between supersteps.
 type Context[V, E, M any] struct {
 	engine   *Engine[V, E, M]
 	workerID int
-	out      [][]addrMsg[M] // indexed by destination worker
-	sentLoc  int64
-	sentRem  int64
-	edges    int64
-	computed int64
-	rand     *rng.Source
+	out      [][]addrMsg[M] // indexed by destination worker (no-combiner path)
+
+	// Send-side combining plane, allocated only when a combiner is set:
+	// combVal[dst] holds this worker's staged merged payload for dst,
+	// valid iff combEpoch[dst] == epoch (stamping avoids a clearing pass),
+	// and combDst[w] lists staged destinations owned by worker w in first-
+	// send order (the deterministic delivery order).
+	combVal   []M
+	combEpoch []uint32
+	combDst   [][]VertexID
+	epoch     uint32
+
+	sentLoc     int64
+	sentRem     int64
+	edges       int64
+	computed    int64
+	stayActive  int64 // computed vertices that did not vote to halt
+	reactivated int64 // owned halted vertices woken by a delivery
+	rand        *rng.Source
+}
+
+// reset prepares the context for the next superstep, truncating the
+// outbox arenas in place so their capacity is reused.
+func (c *Context[V, E, M]) reset() {
+	c.sentLoc, c.sentRem, c.edges, c.computed = 0, 0, 0, 0
+	c.stayActive, c.reactivated = 0, 0
+	for i := range c.out {
+		c.out[i] = c.out[i][:0]
+	}
+	for i := range c.combDst {
+		c.combDst[i] = c.combDst[i][:0]
+	}
+	c.epoch++
 }
 
 // Superstep returns the current superstep number (0-based).
@@ -49,9 +78,30 @@ func (c *Context[V, E, M]) WorkerState() any { return c.engine.workerState[c.wor
 // Rand returns this worker's deterministic random stream.
 func (c *Context[V, E, M]) Rand() *rng.Source { return c.rand }
 
-// SendTo queues a message for delivery to dst at the next superstep.
+// SendTo queues a message for delivery to dst at the next superstep. When
+// a combiner is installed the message is merged into this worker's staging
+// slot for dst instead of being queued, so at most one message per
+// (worker, destination) pair travels to the barrier; the sent counters
+// then reflect post-combining traffic.
 func (c *Context[V, E, M]) SendTo(dst VertexID, msg M) {
-	w := c.engine.place[dst]
+	e := c.engine
+	if e.combiner != nil {
+		if c.combEpoch[dst] == c.epoch {
+			c.combVal[dst] = e.combiner(c.combVal[dst], msg)
+			return
+		}
+		c.combEpoch[dst] = c.epoch
+		c.combVal[dst] = msg
+		w := e.place[dst]
+		c.combDst[w] = append(c.combDst[w], dst)
+		if int(w) == c.workerID {
+			c.sentLoc++
+		} else {
+			c.sentRem++
+		}
+		return
+	}
+	w := e.place[dst]
 	c.out[w] = append(c.out[w], addrMsg[M]{to: dst, payload: msg})
 	if int(w) == c.workerID {
 		c.sentLoc++
@@ -150,16 +200,16 @@ func (m *Master) SetAgg(name string, v []float64) {
 }
 
 // runSuperstep executes one BSP superstep: parallel compute, message
-// routing, aggregator merge.
+// routing, aggregator merge. All message buffers are engine-owned arenas
+// reused across supersteps; in steady state the only per-superstep
+// allocations are the stats record and the worker goroutines themselves.
 func (e *Engine[V, E, M]) runSuperstep() {
 	start := time.Now()
 	w := e.cfg.NumWorkers
-	ctxs := make([]*Context[V, E, M], w)
 	var wg sync.WaitGroup
 	for wk := 0; wk < w; wk++ {
-		ctx := &Context[V, E, M]{engine: e, workerID: wk, rand: e.workerRand[wk]}
-		ctx.out = make([][]addrMsg[M], w)
-		ctxs[wk] = ctx
+		ctx := e.ctxs[wk]
+		ctx.reset()
 		wg.Add(1)
 		go func(wk int, ctx *Context[V, E, M]) {
 			defer wg.Done()
@@ -172,108 +222,199 @@ func (e *Engine[V, E, M]) runSuperstep() {
 				v.halted = false
 				ctx.computed++
 				e.prog.Compute(ctx, v, msgs)
+				if !v.halted {
+					ctx.stayActive++
+				}
 			}
 		}(wk, ctx)
 	}
 	wg.Wait()
 
-	// Accounting.
+	// Accounting: one backing array for all five per-worker vectors (they
+	// escape into e.stats, so they cannot be arena-reused).
+	buf := make([]int64, 5*w)
 	st := SuperstepStats{
 		Superstep:      e.superstep,
-		SentLocal:      make([]int64, w),
-		SentRemote:     make([]int64, w),
-		Received:       make([]int64, w),
-		ReceivedRemote: make([]int64, w),
-		ComputeEdges:   make([]int64, w),
+		SentLocal:      buf[0*w : 1*w : 1*w],
+		SentRemote:     buf[1*w : 2*w : 2*w],
+		Received:       buf[2*w : 3*w : 3*w],
+		ReceivedRemote: buf[3*w : 4*w : 4*w],
+		ComputeEdges:   buf[4*w : 5*w : 5*w],
 	}
-	for wk, ctx := range ctxs {
+	for wk, ctx := range e.ctxs {
 		st.SentLocal[wk] = ctx.sentLoc
 		st.SentRemote[wk] = ctx.sentRem
 		st.ComputeEdges[wk] = ctx.edges
 	}
 
-	// Clear inboxes of vertices that just computed (they consumed them),
-	// then deliver fresh messages: each destination worker drains, in
-	// source-worker order for determinism, the outboxes addressed to it.
+	// Delivery: each destination worker truncates, in place, the inboxes
+	// its vertices consumed this superstep (the pending list makes this
+	// O(delivered vertices), not O(n)), then drains, in source-worker order
+	// for determinism, the outboxes — or combiner staging slots — addressed
+	// to it. Halted vertices woken by a delivery are counted for the
+	// incremental active tracking.
 	for wk := 0; wk < w; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			for _, vid := range e.byWorker[wk] {
-				if len(e.inbox[vid]) > 0 {
-					e.inbox[vid] = e.inbox[vid][:0]
+			pend := e.pending[wk]
+			for _, vid := range pend {
+				e.inbox[vid] = e.inbox[vid][:0]
+			}
+			pend = pend[:0]
+			var received, receivedRemote, reactivated int64
+			if e.combiner != nil {
+				for src := 0; src < w; src++ {
+					remote := src != wk
+					sctx := e.ctxs[src]
+					for _, dst := range sctx.combDst[wk] {
+						received++
+						if remote {
+							receivedRemote++
+						}
+						box := e.inbox[dst]
+						if len(box) > 0 {
+							box[0] = e.combiner(box[0], sctx.combVal[dst])
+						} else {
+							box = append(box, sctx.combVal[dst])
+							pend = append(pend, dst)
+						}
+						e.inbox[dst] = box
+						if e.vertices[dst].halted {
+							e.vertices[dst].halted = false
+							reactivated++
+						}
+					}
+				}
+			} else {
+				// Two-pass arena delivery: count messages per destination,
+				// carve capacity-clamped windows out of this worker's flat
+				// arena, then fill in source-worker order. Inboxes are views
+				// into the arena, so a superstep costs zero allocations once
+				// the arena has grown to the high-water message volume.
+				counts := e.inboxCount
+				var total int32
+				for src := 0; src < w; src++ {
+					remote := src != wk
+					for _, am := range e.ctxs[src].out[wk] {
+						if counts[am.to] == 0 {
+							pend = append(pend, am.to)
+							if e.vertices[am.to].halted {
+								e.vertices[am.to].halted = false
+								reactivated++
+							}
+						}
+						counts[am.to]++
+						total++
+						if remote {
+							receivedRemote++
+						}
+					}
+				}
+				received = int64(total)
+				arena := e.inboxArena[wk]
+				if int(total) > cap(arena) {
+					arena = make([]M, 0, total)
+					e.inboxArena[wk] = arena
+				}
+				var off int32
+				for _, vid := range pend {
+					c := counts[vid]
+					e.inbox[vid] = arena[off:off : off+c]
+					off += c
+					counts[vid] = 0
+				}
+				for src := 0; src < w; src++ {
+					for _, am := range e.ctxs[src].out[wk] {
+						e.inbox[am.to] = append(e.inbox[am.to], am.payload)
+					}
 				}
 			}
-			var received, receivedRemote int64
-			for src := 0; src < w; src++ {
-				remote := src != wk
-				for _, am := range ctxs[src].out[wk] {
-					received++
-					if remote {
-						receivedRemote++
-					}
-					box := e.inbox[am.to]
-					if e.combiner != nil && len(box) == 1 {
-						box[0] = e.combiner(box[0], am.payload)
-					} else {
-						box = append(box, am.payload)
-					}
-					e.inbox[am.to] = box
-					e.vertices[am.to].halted = false
-				}
-			}
+			e.pending[wk] = pend
+			e.ctxs[wk].reactivated = reactivated
 			st.Received[wk] = received
 			st.ReceivedRemote[wk] = receivedRemote
 		}(wk)
 	}
 	wg.Wait()
 
-	// Merge aggregators in registration order, worker order (deterministic).
+	// Merge aggregators at the barrier. Each aggregator merges into its own
+	// reusable scratch vector; aggregators are independent, so when the
+	// merge work is large enough to repay goroutine spawns they merge in
+	// parallel, each still walking workers in order (deterministic either
+	// way). Small vectors — the common case — merge serially: the spawn
+	// plus WaitGroup costs more than the few KB of folding they would hide.
+	parallelMerge := false
+	if len(e.aggOrder) > 1 {
+		var elems int
+		for _, name := range e.aggOrder {
+			elems += e.aggs[name].size
+		}
+		parallelMerge = elems*w >= 1<<14
+	}
 	for _, name := range e.aggOrder {
-		a := e.aggs[name]
-		merged := make([]float64, a.size)
-		switch a.op {
-		case AggMin:
-			for i := range merged {
-				merged[i] = inf
-			}
-		case AggMax:
-			for i := range merged {
-				merged[i] = -inf
-			}
+		if !parallelMerge {
+			e.aggs[name].merge(w)
+			continue
 		}
-		for wk := 0; wk < w; wk++ {
-			p := a.partials[wk]
-			for i := range merged {
-				switch a.op {
-				case AggSum:
-					merged[i] += p[i]
-				case AggMin:
-					if p[i] < merged[i] {
-						merged[i] = p[i]
-					}
-				case AggMax:
-					if p[i] > merged[i] {
-						merged[i] = p[i]
-					}
-				}
-			}
-		}
-		if a.persistent {
-			for i := range merged {
-				a.current[i] += merged[i]
-			}
-		} else {
-			copy(a.current, merged)
-		}
-		a.resetPartials()
+		wg.Add(1)
+		go func(a *aggregator) {
+			defer wg.Done()
+			a.merge(w)
+		}(e.aggs[name])
+	}
+	if parallelMerge {
+		wg.Wait()
 	}
 
-	var active int64
-	for _, ctx := range ctxs {
+	var active, nextActive int64
+	for _, ctx := range e.ctxs {
 		active += ctx.computed
+		nextActive += ctx.stayActive + ctx.reactivated
 	}
+	e.active = nextActive
 	st.Active = active
 	st.Duration = time.Since(start)
 	e.stats = append(e.stats, st)
+}
+
+// merge folds the per-worker partials into current via the reusable
+// scratch buffer and resets the partials for the next superstep.
+func (a *aggregator) merge(w int) {
+	merged := a.scratch
+	for i := range merged {
+		switch a.op {
+		case AggSum:
+			merged[i] = 0
+		case AggMin:
+			merged[i] = inf
+		case AggMax:
+			merged[i] = -inf
+		}
+	}
+	for wk := 0; wk < w; wk++ {
+		p := a.partials[wk]
+		for i := range merged {
+			switch a.op {
+			case AggSum:
+				merged[i] += p[i]
+			case AggMin:
+				if p[i] < merged[i] {
+					merged[i] = p[i]
+				}
+			case AggMax:
+				if p[i] > merged[i] {
+					merged[i] = p[i]
+				}
+			}
+		}
+	}
+	if a.persistent {
+		for i := range merged {
+			a.current[i] += merged[i]
+		}
+	} else {
+		copy(a.current, merged)
+	}
+	a.resetPartials()
 }

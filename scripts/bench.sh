@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# bench.sh — perf gate for the Spinner reproduction.
+#
+# Runs go vet, the tier-1 test suite, and the BenchmarkSpinnerIteration
+# microbenchmark (-benchmem, -count=5), then appends a labeled JSON record
+# of the benchmark runs to the output file (default BENCH_pr1.json). Each
+# PR that touches the hot path records its before/after pair here so the
+# perf trajectory is auditable.
+#
+# Usage: scripts/bench.sh [-l label] [-o outfile] [-c count]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="current"
+OUT="BENCH_pr1.json"
+COUNT=5
+while getopts "l:o:c:" opt; do
+  case "$opt" in
+    l) LABEL="$OPTARG" ;;
+    o) OUT="$OPTARG" ;;
+    c) COUNT="$OPTARG" ;;
+    *) echo "usage: $0 [-l label] [-o outfile] [-c count]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== go vet ./..."
+go vet ./...
+echo "== tier-1: go build ./... && go test ./..."
+go build ./...
+go test ./...
+echo "== go test -bench=BenchmarkSpinnerIteration -benchmem -count=$COUNT"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+go test -run='^$' -bench='^BenchmarkSpinnerIteration$' -benchmem -count="$COUNT" . | tee "$RAW"
+
+RECORD=$(awk -v label="$LABEL" -v gover="$(go version | awk '{print $3}')" '
+  BEGIN { n = 0 }
+  /^BenchmarkSpinnerIteration/ {
+    ns[n] = $3; bytes[n] = $5; allocs[n] = $7; n++
+  }
+  END {
+    if (n == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    printf "{\"label\": \"%s\", \"go\": \"%s\", \"benchmark\": \"BenchmarkSpinnerIteration\", \"runs\": [", label, gover
+    sns = 0; sb = 0; sa = 0
+    for (i = 0; i < n; i++) {
+      if (i) printf ", "
+      printf "{\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", ns[i], bytes[i], allocs[i]
+      sns += ns[i]; sb += bytes[i]; sa += allocs[i]
+    }
+    printf "], \"mean\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}}", sns/n, sb/n, sa/n
+  }' "$RAW")
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" "$RECORD" <<'EOF'
+import json, sys
+path, record = sys.argv[1], json.loads(sys.argv[2])
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {"benchmark": "BenchmarkSpinnerIteration", "records": []}
+doc["records"] = [r for r in doc.get("records", []) if r.get("label") != record["label"]]
+doc["records"].append(record)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"recorded label {record['label']!r} into {path}")
+EOF
+else
+  # Fallback without python3: write a single-record document.
+  printf '{"benchmark": "BenchmarkSpinnerIteration", "records": [%s]}\n' "$RECORD" > "$OUT"
+  echo "recorded (fallback, single record) into $OUT"
+fi
