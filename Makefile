@@ -1,16 +1,20 @@
 # Development targets for the Spinner reproduction.
 #
-#   make test   — tier-1 gate: go build ./... && go test ./...
-#   make vet    — go vet ./...
-#   make bench  — vet + tier-1 + BenchmarkSpinnerIteration (-benchmem,
-#                 -count=5), recording results into BENCH_pr1.json
-#   make check  — vet + test
+#   make test       — tier-1 gate: go build ./... && go test ./...
+#   make test-race  — race-detector pass over the concurrency-bearing
+#                     packages (pregel engine + serving layer)
+#   make vet        — go vet ./...
+#   make bench      — vet + tier-1 + race + BenchmarkSpinnerIteration
+#                     (-benchmem, -count=5), recorded into BENCH_pr1.json
+#   make bench-serve— same gate but BenchmarkServeLookupUnderChurn,
+#                     recorded into BENCH_pr2.json
+#   make check      — vet + test + test-race
 
-.PHONY: all check build vet test bench
+.PHONY: all check build vet test test-race bench bench-serve
 
 all: check
 
-check: vet test
+check: vet test test-race
 
 build:
 	go build ./...
@@ -22,5 +26,11 @@ test:
 	go build ./...
 	go test ./...
 
+test-race:
+	go test -race ./internal/pregel/ ./internal/serve/
+
 bench:
 	./scripts/bench.sh -l current -o BENCH_pr1.json
+
+bench-serve:
+	./scripts/bench.sh -l current -b BenchmarkServeLookupUnderChurn -p ./internal/serve -o BENCH_pr2.json

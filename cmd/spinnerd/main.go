@@ -1,0 +1,300 @@
+// Command spinnerd runs the live partition-maintenance service: it
+// partitions an edge-list graph once at startup, then serves
+// vertex→partition lookups over HTTP while ingesting graph mutations and
+// elastic partition-count changes, maintaining the partitioning
+// incrementally in the background (internal/serve).
+//
+// Usage:
+//
+//	spinnerd -k 32 -in graph.txt -addr :8080
+//	spinnerd -k 8 -synthetic 20000 -demo 2s
+//
+// Endpoints:
+//
+//	GET  /lookup?v=ID      → {"vertex":ID,"partition":P,"version":V}
+//	POST /mutate           → apply a mutation batch, one op per line:
+//	                           + u v [w]   add undirected edge {u,v} (weight w, default 2)
+//	                           - u v       remove undirected edge {u,v}
+//	                           v n         append n vertices
+//	POST /resize?k=K       → elastic change to K partitions
+//	GET  /stats            → snapshot + serving counters (JSON)
+//	GET  /healthz          → 200 once serving
+//
+// With -demo D the daemon skips the listener, drives synthetic churn
+// against the store for duration D while hammering lookups, prints the
+// serving counters, and exits — the no-network smoke mode used by tests
+// and quick evaluations.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		k          = flag.Int("k", 32, "number of partitions")
+		c          = flag.Float64("c", 1.05, "additional capacity (c > 1)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "Pregel workers (0 = GOMAXPROCS)")
+		maxIter    = flag.Int("max-iterations", 200, "iteration cap per maintenance run")
+		undirected = flag.Bool("undirected", false, "treat input edges as undirected")
+		inPath     = flag.String("in", "", "input edge list (default stdin; ignored with -synthetic)")
+		synthetic  = flag.Int("synthetic", 0, "generate a Watts-Strogatz graph with this many vertices instead of reading input")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		logDepth   = flag.Int("log-depth", 64, "bounded mutation log depth")
+		degrade    = flag.Float64("degrade", 1.10, "cut-ratio degradation factor triggering restabilization")
+		demo       = flag.Duration("demo", 0, "run synthetic churn for this duration and exit (no listener)")
+	)
+	flag.Parse()
+	if err := run(*k, *c, *seed, *workers, *maxIter, *undirected, *inPath, *synthetic,
+		*addr, *logDepth, *degrade, *demo, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spinnerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k int, c float64, seed uint64, workers, maxIter int, undirected bool,
+	inPath string, synthetic int, addr string, logDepth int, degrade float64,
+	demo time.Duration, out io.Writer) error {
+	var g *graph.Graph
+	switch {
+	case synthetic > 0:
+		g = gen.WattsStrogatz(synthetic, 10, 0.2, seed)
+	default:
+		var in io.Reader = os.Stdin
+		if inPath != "" {
+			f, err := os.Open(inPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		g, err = graph.ReadEdgeList(in, !undirected)
+		if err != nil {
+			return err
+		}
+	}
+
+	opts := core.Options{K: k, C: c, Seed: seed, NumWorkers: workers, MaxIterations: maxIter}
+	cfg := serve.Config{Options: opts, LogDepth: logDepth, DegradeFactor: degrade}
+	fmt.Fprintf(out, "spinnerd: partitioning %d vertices into %d partitions...\n", g.NumVertices(), k)
+	st, err := serve.Bootstrap(g, cfg)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	snap := st.Snapshot()
+	fmt.Fprintf(out, "spinnerd: serving (cut ratio %.4f)\n", snap.CutRatio)
+
+	if demo > 0 {
+		return runDemo(st, demo, seed, out)
+	}
+	fmt.Fprintf(out, "spinnerd: listening on %s\n", addr)
+	return http.ListenAndServe(addr, newMux(st))
+}
+
+// runDemo drives synthetic churn + lookups against the store and prints
+// the counters — the no-network smoke mode.
+func runDemo(st *serve.Store, d time.Duration, seed uint64, out io.Writer) error {
+	n := len(st.Snapshot().Labels)
+	src := rng.New(seed ^ 0xdeadbeef)
+	var lookups atomic.Int64
+	stop := make(chan struct{})
+	lookupDone := make(chan struct{})
+	go func() {
+		defer close(lookupDone)
+		v := graph.VertexID(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := st.Lookup(v); ok {
+				lookups.Add(1)
+			}
+			v = (v + 13) % graph.VertexID(len(st.Snapshot().Labels))
+		}
+	}()
+	deadline := time.Now().Add(d)
+	batch := 0
+	for time.Now().Before(deadline) {
+		mut := &graph.Mutation{}
+		for i := 0; i < 50; i++ {
+			u := graph.VertexID(src.Intn(n))
+			v := graph.VertexID(src.Intn(n))
+			if u != v {
+				mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{U: u, V: v, Weight: 2})
+			}
+		}
+		if err := st.Submit(mut); err != nil {
+			return err
+		}
+		batch++
+	}
+	close(stop)
+	<-lookupDone
+	if err := st.Quiesce(); err != nil {
+		fmt.Fprintf(out, "spinnerd: batch error during demo: %v\n", err)
+	}
+	fmt.Fprintf(out, "spinnerd demo: %d lookups alongside %d batches\n", lookups.Load(), batch)
+	fmt.Fprintf(out, "spinnerd demo: %v\n", st.Counters().Snapshot())
+	fmt.Fprintf(out, "spinnerd demo: final %s\n", describe(st.Snapshot()))
+	return nil
+}
+
+func describe(s *serve.Snapshot) string {
+	return fmt.Sprintf("snapshot v%d: %d vertices, k=%d, cut=%.4f, epoch=%d",
+		s.Version, len(s.Labels), s.K, s.CutRatio, s.Epoch)
+}
+
+// newMux wires the store into an HTTP API.
+func newMux(st *serve.Store) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /lookup", func(w http.ResponseWriter, r *http.Request) {
+		v, err := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
+		if err != nil {
+			http.Error(w, "bad vertex id", http.StatusBadRequest)
+			return
+		}
+		part, ok := st.Lookup(graph.VertexID(v))
+		if !ok {
+			http.Error(w, "vertex not found", http.StatusNotFound)
+			return
+		}
+		snap := st.Snapshot()
+		writeJSON(w, map[string]any{"vertex": v, "partition": part, "version": snap.Version, "k": snap.K})
+	})
+	mux.HandleFunc("POST /mutate", func(w http.ResponseWriter, r *http.Request) {
+		mut, err := parseMutation(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := st.TrySubmit(mut); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, map[string]any{"queued": true,
+			"adds": len(mut.NewEdges), "removes": len(mut.RemovedEdges), "vertices": mut.NewVertices})
+	})
+	mux.HandleFunc("POST /resize", func(w http.ResponseWriter, r *http.Request) {
+		k, err := strconv.Atoi(r.URL.Query().Get("k"))
+		if err != nil || k < 1 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+		if err := st.Resize(k); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, map[string]any{"queued": true, "k": k})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := st.Snapshot()
+		payload := map[string]any{
+			"vertices": len(snap.Labels),
+			"k":        snap.K,
+			"version":  snap.Version,
+			"epoch":    snap.Epoch,
+			"applied":  snap.AppliedBatches,
+			"cut":      snap.CutRatio,
+			"counters": st.Counters().Snapshot(),
+		}
+		if err := st.Err(); err != nil {
+			payload["last_error"] = err.Error()
+		}
+		writeJSON(w, payload)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// parseMutation reads the /mutate line protocol.
+func parseMutation(r io.Reader) (*graph.Mutation, error) {
+	mut := &graph.Mutation{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "+":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("line %d: want '+ u v [w]'", lineNo)
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 32)
+			v, err2 := strconv.ParseInt(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad endpoints", lineNo)
+			}
+			weight := int64(2)
+			if len(fields) > 3 {
+				var err error
+				weight, err = strconv.ParseInt(fields[3], 10, 32)
+				if err != nil || weight < 1 {
+					return nil, fmt.Errorf("line %d: bad weight %q", lineNo, fields[3])
+				}
+			}
+			mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+				U: graph.VertexID(u), V: graph.VertexID(v), Weight: int32(weight)})
+		case "-":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: want '- u v'", lineNo)
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 32)
+			v, err2 := strconv.ParseInt(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad endpoints", lineNo)
+			}
+			mut.RemovedEdges = append(mut.RemovedEdges, graph.Edge{From: graph.VertexID(u), To: graph.VertexID(v)})
+		case "v":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: want 'v n'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 || n > graph.MaxVertices || mut.NewVertices > graph.MaxVertices-n {
+				return nil, fmt.Errorf("line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			mut.NewVertices += n
+		default:
+			return nil, fmt.Errorf("line %d: unknown op %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return mut, nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+func testStore(t *testing.T, k int) *serve.Store {
+	t.Helper()
+	opts := core.DefaultOptions(k)
+	opts.Seed = 7
+	opts.NumWorkers = 2
+	opts.MaxIterations = 30
+	st, err := serve.Bootstrap(gen.WattsStrogatz(600, 8, 0.2, 7), serve.Config{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestHTTPLookupAndStats(t *testing.T) {
+	st := testStore(t, 4)
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/lookup?v=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup status %d", resp.StatusCode)
+	}
+	var body struct {
+		Vertex    int64  `json:"vertex"`
+		Partition int32  `json:"partition"`
+		Version   uint64 `json:"version"`
+		K         int    `json:"k"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Vertex != 5 || body.Partition < 0 || int(body.Partition) >= body.K {
+		t.Fatalf("lookup body %+v", body)
+	}
+
+	for _, bad := range []string{"/lookup?v=abc", "/lookup?v=", "/lookup"} {
+		r, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status %d, want 400", bad, r.StatusCode)
+		}
+	}
+	r, err := http.Get(srv.URL + "/lookup?v=100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing vertex status %d, want 404", r.StatusCode)
+	}
+
+	r, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["vertices"].(float64) != 600 || stats["k"].(float64) != 4 {
+		t.Fatalf("stats %v", stats)
+	}
+
+	r, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", r.StatusCode)
+	}
+}
+
+func TestHTTPMutateAndResize(t *testing.T) {
+	st := testStore(t, 4)
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+
+	body := "# add two vertices and wire them in\nv 2\n+ 600 0\n+ 601 1 3\n- 0 1\n"
+	resp, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("mutate status %d", resp.StatusCode)
+	}
+	if err := st.Quiesce(); err != nil {
+		// {0,1} may legitimately be absent in the generated graph; only a
+		// rejected-batch error is acceptable here.
+		if !strings.Contains(err.Error(), "absent edge") {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err = http.Post(srv.URL+"/resize?k=6", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resize status %d", resp.StatusCode)
+	}
+	if err := st.Quiesce(); err != nil && !strings.Contains(err.Error(), "absent edge") {
+		t.Fatal(err)
+	}
+	if got := st.Snapshot().K; got != 6 {
+		t.Fatalf("k after resize = %d, want 6", got)
+	}
+
+	for _, bad := range []string{"/resize", "/resize?k=0", "/resize?k=x"} {
+		r, err := http.Post(srv.URL+bad, "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status %d, want 400", bad, r.StatusCode)
+		}
+	}
+
+	r, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader("bogus 1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mutate status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestParseMutation(t *testing.T) {
+	mut, err := parseMutation(strings.NewReader("v 3\n+ 1 2\n+ 2 3 5\n- 4 5\n\n# comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.NewVertices != 3 || len(mut.NewEdges) != 2 || len(mut.RemovedEdges) != 1 {
+		t.Fatalf("parsed %+v", mut)
+	}
+	if mut.NewEdges[0].Weight != 2 || mut.NewEdges[1].Weight != 5 {
+		t.Fatalf("weights %d,%d", mut.NewEdges[0].Weight, mut.NewEdges[1].Weight)
+	}
+	for _, bad := range []string{"+ 1\n", "- 1\n", "v x\n", "v -1\n", "v 999999999999\n", "v 8000000\nv 8000000\n", "+ a b\n", "+ 1 2 0\n", "? 1 2\n"} {
+		if _, err := parseMutation(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parseMutation(%q) accepted", bad)
+		}
+	}
+}
+
+// The -demo smoke mode must run end to end without a listener and report
+// its counters.
+func TestDemoMode(t *testing.T) {
+	var sb strings.Builder
+	err := run(4, 1.05, 7, 2, 30, false, "", 800, "", 16, 1.05, 300*time.Millisecond, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"spinnerd: serving", "spinnerd demo:", "lookups", "snapshot v"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -42,4 +42,34 @@
 // The `make bench` target records BenchmarkSpinnerIteration under
 // -benchmem into BENCH_pr1.json; future performance work is measured
 // against that trajectory.
+//
+// # Serving architecture
+//
+// internal/serve turns the batch algorithms into a live
+// partition-maintenance service (the paper's §III-D/E claim that
+// partitions are maintained, not recomputed), exposed by cmd/spinnerd and
+// walked through in examples/serving:
+//
+//   - Lookups are lock-free: readers load an immutable snapshot through
+//     one atomic pointer; a published snapshot is never mutated.
+//   - graph.Mutation batches flow through a bounded mutation log into a
+//     single maintenance goroutine that owns the authoritative graph,
+//     applies each batch atomically, seeds appended vertices on the
+//     least-loaded partitions, and swaps a fresh snapshot per batch.
+//   - The loop tracks the cut ratio; past a degradation threshold it
+//     clones the graph and restabilizes in a background goroutine with
+//     the incremental Spinner adaptation, streaming per-iteration labels
+//     back as mid-run snapshots (via the pregel AfterSuperstep hook) and
+//     merging the final labels when the run lands.
+//   - Elastic k→k′ changes relabel the paper's n/(k+n) fraction
+//     immediately — lookups never observe an out-of-range label — and
+//     repair locality with the same background machinery; runs in flight
+//     across a resize are discarded, not merged.
+//
+// internal/metrics.ServeCounters instruments lookups, staleness and
+// migration volume; cluster.MigrationVolume/MigrationTime price the
+// migration traffic under the cost model. `make bench-serve` records
+// BenchmarkServeLookupUnderChurn (sustained lookup latency under live
+// churn and restabilization) into BENCH_pr2.json, and `make test-race`
+// runs the concurrency-bearing packages under the race detector.
 package repro

@@ -50,6 +50,10 @@ type CostModel struct {
 	RecvRemoteMsg time.Duration
 	// Barrier is the fixed synchronization overhead per superstep.
 	Barrier time.Duration
+	// VertexTransfer is the fixed cost of re-homing one vertex to another
+	// partition (state handoff + routing update), charged by MigrationTime
+	// on top of the per-edge transfer volume.
+	VertexTransfer time.Duration
 }
 
 // Default returns a cost model with commodity-cluster ratios.
@@ -61,6 +65,7 @@ func Default() CostModel {
 		RecvMsg:        40 * time.Nanosecond,
 		RecvRemoteMsg:  800 * time.Nanosecond,
 		Barrier:        2 * time.Millisecond,
+		VertexTransfer: 3 * time.Microsecond,
 	}
 }
 

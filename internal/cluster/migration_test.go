@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestMigrationVolume(t *testing.T) {
+	w := graph.NewWeighted(5)
+	w.AddEdge(0, 1, 2)
+	w.AddEdge(1, 2, 1)
+	w.AddEdge(3, 4, 1)
+	before := []int32{0, 0, 1, 1, 1}
+	after := []int32{0, 1, 1, 1, 0} // vertices 1 and 4 moved
+
+	verts, weight := MigrationVolume(w, before, after)
+	if verts != 2 {
+		t.Fatalf("vertices = %d, want 2", verts)
+	}
+	// deg_w(1) = 2+1 = 3, deg_w(4) = 1.
+	if weight != 4 {
+		t.Fatalf("weight = %d, want 4", weight)
+	}
+
+	// Identical labelings move nothing.
+	if v, wt := MigrationVolume(w, before, before); v != 0 || wt != 0 {
+		t.Fatalf("self-migration = (%d,%d), want (0,0)", v, wt)
+	}
+
+	// Appended vertices (present only in `after`) are placements, not
+	// migrations.
+	grown := append(append([]int32(nil), after...), 2, 2)
+	if v, _ := MigrationVolume(w, before, grown); v != 2 {
+		t.Fatalf("with appended vertices: %d migrations, want 2", v)
+	}
+}
+
+func TestMigrationTimePricing(t *testing.T) {
+	m := Default()
+	if m.VertexTransfer <= 0 {
+		t.Fatal("default cost model must price vertex transfer")
+	}
+	small := m.MigrationTime(10, 100)
+	large := m.MigrationTime(1000, 10000)
+	if small <= 0 || large <= small {
+		t.Fatalf("pricing not monotonic: small=%v large=%v", small, large)
+	}
+	// The unit prices compose linearly.
+	want := 10*m.VertexTransfer + 100*(m.RemoteMsg+m.RecvMsg+m.RecvRemoteMsg)
+	if small != want {
+		t.Fatalf("MigrationTime(10,100) = %v, want %v", small, want)
+	}
+	if m.MigrationTime(0, 0) != time.Duration(0) {
+		t.Fatal("empty migration must be free")
+	}
+}

@@ -8,13 +8,15 @@ import (
 	"repro/internal/rng"
 )
 
-// seedNewVertices assigns labels to vertices init[firstNew:] by repeatedly
+// SeedNewVertices assigns labels to vertices init[firstNew:] by repeatedly
 // placing each new vertex on the currently least-loaded partition (§III-D:
 // "we initially assign them to the least loaded partition, to ensure we do
 // not violate the balance constraint"). Loads are measured in weighted
 // degree, consistent with b(l), and updated greedily as vertices are
-// placed.
-func seedNewVertices(w *graph.Weighted, init []int32, firstNew, k int) {
+// placed. Besides Adapt, the serving layer (internal/serve) calls this
+// directly to label vertices arriving in mutation batches without waiting
+// for a restabilization run.
+func SeedNewVertices(w *graph.Weighted, init []int32, firstNew, k int) {
 	if firstNew >= len(init) {
 		return
 	}
@@ -59,13 +61,15 @@ func (h *loadHeap) Pop() any {
 	return x
 }
 
-// elasticRelabel implements §III-E. Growing from oldK to newK partitions:
+// ElasticRelabel implements §III-E. Growing from oldK to newK partitions:
 // every vertex independently moves, with probability p = n/(k+n) (Eq. 11,
 // n = newK−oldK new partitions, k = oldK), to a uniformly chosen new
 // partition. Shrinking: vertices on removed partitions (label >= newK)
 // move to a uniformly chosen surviving partition. Equal counts return a
-// copy unchanged.
-func elasticRelabel(prev []int32, oldK, newK int, seed uint64) ([]int32, error) {
+// copy unchanged. Resize composes this with an LPA repair run; the serving
+// layer calls it directly so lookups see valid [0,newK) labels immediately
+// while the repair converges in the background.
+func ElasticRelabel(prev []int32, oldK, newK int, seed uint64) ([]int32, error) {
 	if newK < 1 {
 		return nil, fmt.Errorf("core: newK=%d", newK)
 	}

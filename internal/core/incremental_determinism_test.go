@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// TestAdaptDeterminismRegression mirrors TestPartitionDeterminismRegression
+// for the incremental path (§III-D): for a fixed seed and a fixed mutation
+// batch, Adapt must return bit-identical labels — and identical message
+// totals, superstep counts and iteration histories — across repeated runs,
+// at both 1 and 4 workers. As in the from-scratch test, the asynchronous
+// per-worker load view makes results legitimately depend on the worker
+// count, so runs are compared within each worker count only. Both the
+// paper-default (every vertex participates) and the AffectedOnly variant
+// are pinned.
+func TestAdaptDeterminismRegression(t *testing.T) {
+	g := gen.WattsStrogatz(2000, 8, 0.3, 7)
+	base := graph.Convert(g)
+
+	// One base partitioning shared by every run.
+	opts := DefaultOptions(8)
+	opts.Seed = 42
+	opts.NumWorkers = 2
+	p, err := NewPartitioner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := p.PartitionWeighted(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One fixed churn batch: ~3% new edges (some to 25 new vertices), ~1%
+	// removals. The batch is regenerated per run from the same seed, and
+	// the mutated graph is rebuilt from a clone, so every run adapts the
+	// identical (graph, prev, affected) input.
+	makeInput := func() (*graph.Weighted, *graph.Mutation) {
+		w := base.Clone()
+		mut := gen.ChurnBatch(w, 0.03, 0.01, 99)
+		mut.NewVertices = 25
+		for i := 0; i < 25; i++ {
+			mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+				U: graph.VertexID(base.NumVertices() + i), V: graph.VertexID(i * 7 % base.NumVertices()), Weight: 2,
+			})
+		}
+		if _, err := mut.Apply(w); err != nil {
+			t.Fatal(err)
+		}
+		return w, mut
+	}
+
+	for _, affectedOnly := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			run := func() *Result {
+				w, mut := makeInput()
+				o := DefaultOptions(8)
+				o.Seed = 42
+				o.NumWorkers = workers
+				o.AffectedOnly = affectedOnly
+				ap, err := NewPartitioner(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := ap.Adapt(w, baseRes.Labels, mut.TouchedVertices())
+				if err != nil {
+					t.Fatalf("Adapt workers=%d affectedOnly=%v: %v", workers, affectedOnly, err)
+				}
+				if err := metrics.ValidateLabels(res.Labels, 8); err != nil {
+					t.Fatalf("workers=%d affectedOnly=%v: %v", workers, affectedOnly, err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Supersteps != b.Supersteps || a.Iterations != b.Iterations {
+				t.Fatalf("workers=%d affectedOnly=%v: supersteps %d/%d iterations %d/%d differ",
+					workers, affectedOnly, a.Supersteps, b.Supersteps, a.Iterations, b.Iterations)
+			}
+			if a.Messages != b.Messages {
+				t.Fatalf("workers=%d affectedOnly=%v: message totals %d vs %d differ",
+					workers, affectedOnly, a.Messages, b.Messages)
+			}
+			for i := range a.Labels {
+				if a.Labels[i] != b.Labels[i] {
+					t.Fatalf("workers=%d affectedOnly=%v: label of vertex %d differs: %d vs %d",
+						workers, affectedOnly, i, a.Labels[i], b.Labels[i])
+				}
+			}
+			for i := range a.History {
+				if a.History[i].Score != b.History[i].Score || a.History[i].Migrations != b.History[i].Migrations {
+					t.Fatalf("workers=%d affectedOnly=%v: iteration %d metrics differ", workers, affectedOnly, i)
+				}
+			}
+		}
+	}
+}
+
+// TestIterationSnapshotHook pins the mid-run snapshot extraction contract:
+// the hook fires once per completed LPA iteration with monotonically
+// increasing iteration numbers, every intermediate labeling is complete and
+// valid, and the final snapshot equals the returned Result exactly.
+func TestIterationSnapshotHook(t *testing.T) {
+	g := gen.WattsStrogatz(1500, 8, 0.2, 3)
+	w := graph.Convert(g)
+	opts := DefaultOptions(6)
+	opts.Seed = 11
+	opts.NumWorkers = 2
+	var iters []int
+	var snaps [][]int32
+	opts.IterationSnapshot = func(iter int, labels []int32) {
+		iters = append(iters, iter)
+		snaps = append(snaps, labels)
+	}
+	p, err := NewPartitioner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("hook fired %d times for %d iterations", len(iters), res.Iterations)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("iteration sequence %v not 1..n", iters)
+		}
+		if len(snaps[i]) != w.NumVertices() {
+			t.Fatalf("snapshot %d has %d labels, want %d", i, len(snaps[i]), w.NumVertices())
+		}
+		if err := metrics.ValidateLabels(snaps[i], 6); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	final := snaps[len(snaps)-1]
+	for v := range final {
+		if final[v] != res.Labels[v] {
+			t.Fatalf("final snapshot differs from Result at vertex %d: %d vs %d", v, final[v], res.Labels[v])
+		}
+	}
+	// The hook must not change the outcome: a hook-free run with the same
+	// seed produces identical labels.
+	opts.IterationSnapshot = nil
+	p2, err := NewPartitioner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p2.PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range res.Labels {
+		if res.Labels[v] != res2.Labels[v] {
+			t.Fatalf("snapshot hook perturbed the run: vertex %d %d vs %d", v, res.Labels[v], res2.Labels[v])
+		}
+	}
+}

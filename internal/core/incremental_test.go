@@ -225,7 +225,7 @@ func TestResizeValidation(t *testing.T) {
 
 func TestResizeSameKKeepsLabels(t *testing.T) {
 	prev := []int32{0, 1, 2, 0}
-	out, err := elasticRelabel(prev, 3, 3, 9)
+	out, err := ElasticRelabel(prev, 3, 3, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestElasticRelabelGrowProbability(t *testing.T) {
 	for i := range prev {
 		prev[i] = int32(i % 4)
 	}
-	out, err := elasticRelabel(prev, 4, 8, 11)
+	out, err := ElasticRelabel(prev, 4, 8, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestElasticRelabelShrinkRemovesHighLabels(t *testing.T) {
 	for i := range prev {
 		prev[i] = int32(i % 8)
 	}
-	out, err := elasticRelabel(prev, 8, 5, 13)
+	out, err := ElasticRelabel(prev, 8, 5, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestSeedNewVerticesBalances(t *testing.T) {
 	w.AddEdge(0, 1, 10) // heavy partition 0 load
 	init := make([]int32, 6)
 	// Vertices 0,1 on partition 0; vertices 2..5 are new.
-	seedNewVertices(w, init, 2, 2)
+	SeedNewVertices(w, init, 2, 2)
 	for v := 2; v < 6; v++ {
 		if init[v] != 1 {
 			t.Fatalf("new vertex %d seeded on loaded partition (labels=%v)", v, init)

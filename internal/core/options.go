@@ -47,6 +47,16 @@ type Options struct {
 	Seed uint64
 	// NumWorkers is the Pregel worker count. Default GOMAXPROCS.
 	NumWorkers int
+	// IterationSnapshot, when non-nil, is called after every completed LPA
+	// iteration (each ComputeScores + ComputeMigrations pair) with the
+	// 1-based iteration number and a fresh copy of the labels at that
+	// point. Because score(G) climbs monotonically toward convergence,
+	// every intermediate labeling is a valid, progressively better
+	// partitioning; the serving layer publishes them as live snapshots
+	// while a restabilization run is still converging. The callback runs
+	// on the partitioning goroutine between supersteps, so it should
+	// return quickly. The callback owns the labels slice.
+	IterationSnapshot func(iteration int, labels []int32)
 	// CapacityFractions optionally assigns heterogeneous capacities: entry
 	// l is partition l's share of the total load (normalized internally).
 	// Nil means homogeneous (the paper's §III-B setting, 1/k each). This

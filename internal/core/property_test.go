@@ -124,11 +124,11 @@ func TestElasticRelabelProperty(t *testing.T) {
 		for i := range prev {
 			prev[i] = int32(s.Intn(oldK))
 		}
-		a, err := elasticRelabel(prev, oldK, newK, uint64(seed))
+		a, err := ElasticRelabel(prev, oldK, newK, uint64(seed))
 		if err != nil {
 			return false
 		}
-		b, err := elasticRelabel(prev, oldK, newK, uint64(seed))
+		b, err := ElasticRelabel(prev, oldK, newK, uint64(seed))
 		if err != nil {
 			return false
 		}

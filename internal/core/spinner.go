@@ -63,7 +63,7 @@ func (p *Partitioner) Adapt(w *graph.Weighted, prev []int32, affected []graph.Ve
 	}
 	init := make([]int32, n)
 	copy(init, prev)
-	seedNewVertices(w, init, len(prev), p.opts.K)
+	SeedNewVertices(w, init, len(prev), p.opts.K)
 
 	var mask []bool
 	if p.opts.AffectedOnly {
@@ -93,7 +93,7 @@ func (p *Partitioner) Resize(w *graph.Weighted, prev []int32, oldK int) (*Result
 	if oldK < 1 {
 		return nil, fmt.Errorf("core: oldK=%d", oldK)
 	}
-	init, err := elasticRelabel(prev, oldK, p.opts.K, p.opts.Seed)
+	init, err := ElasticRelabel(prev, oldK, p.opts.K, p.opts.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,25 @@ func (p *Partitioner) run(prog *program, vs []pregel.Vertex[vval, eval]) (*Resul
 		Seed:          p.opts.Seed,
 		MaxSupersteps: 3 + 2*p.opts.MaxIterations + 2,
 	}
-	eng := pregel.NewEngine[vval, eval, msg](cfg, prog)
+	var eng *pregel.Engine[vval, eval, msg]
+	if hook := p.opts.IterationSnapshot; hook != nil {
+		// An LPA iteration completes when the master appends its metrics
+		// entry, so history growth is the snapshot signal; the engine calls
+		// this after the barrier, when vertex values are quiescent.
+		snapped := 0
+		cfg.AfterSuperstep = func(int) {
+			if len(prog.history) == snapped {
+				return
+			}
+			snapped = len(prog.history)
+			labels := make([]int32, len(vs))
+			for i := range eng.Vertices() {
+				labels[i] = eng.Vertices()[i].Value.label
+			}
+			hook(snapped, labels)
+		}
+	}
+	eng = pregel.NewEngine[vval, eval, msg](cfg, prog)
 	prog.register(eng)
 	if err := eng.SetVertices(vs); err != nil {
 		return nil, err

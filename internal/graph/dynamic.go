@@ -24,21 +24,21 @@ type WeightedEdgeRecord struct {
 }
 
 // Apply applies m to w in place and returns the ID of the first appended
-// vertex (or -1 if none). Duplicate edges are the caller's responsibility:
-// mutation generators in internal/gen only emit fresh edges.
+// vertex (or -1 if none). Application is atomic: the whole batch is
+// validated against the pre-mutation graph (plus the batch's own additions)
+// before anything is mutated, so a returned error — out-of-range endpoint,
+// self-loop, or removal of an absent edge (a stale batch) — leaves w
+// unchanged. Duplicate additions are the caller's responsibility: mutation
+// generators in internal/gen only emit fresh edges.
 func (m *Mutation) Apply(w *Weighted) (firstNew VertexID, err error) {
+	if err := m.validate(w); err != nil {
+		return -1, err
+	}
 	firstNew = -1
 	if m.NewVertices > 0 {
 		firstNew = w.AddVertices(m.NewVertices)
 	}
-	n := VertexID(w.NumVertices())
 	for _, e := range m.NewEdges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return firstNew, fmt.Errorf("graph: mutation edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
-		}
-		if e.U == e.V {
-			return firstNew, fmt.Errorf("graph: mutation self-loop at %d", e.U)
-		}
 		weight := e.Weight
 		if weight <= 0 {
 			weight = 1
@@ -46,14 +46,75 @@ func (m *Mutation) Apply(w *Weighted) (firstNew VertexID, err error) {
 		w.AddEdge(e.U, e.V, weight)
 	}
 	for _, e := range m.RemovedEdges {
-		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
-			return firstNew, fmt.Errorf("graph: removal (%d,%d) out of range [0,%d)", e.From, e.To, n)
-		}
 		if !w.RemoveEdge(e.From, e.To) {
-			return firstNew, fmt.Errorf("graph: removal of absent edge {%d,%d}", e.From, e.To)
+			// validate established presence; reaching here means w was
+			// mutated concurrently, which Weighted does not support.
+			panic(fmt.Sprintf("graph: validated removal {%d,%d} now absent", e.From, e.To))
 		}
 	}
 	return firstNew, nil
+}
+
+// validate dry-runs m against w: every edge endpoint must be in range after
+// the vertex append, additions must not be self-loops, and every removal
+// must find a distinct edge instance among the pre-existing edges plus the
+// batch's own additions (Weighted does not deduplicate, so multiplicity is
+// counted, not just presence).
+func (m *Mutation) validate(w *Weighted) error {
+	if m.NewVertices < 0 {
+		return fmt.Errorf("graph: mutation appends %d vertices", m.NewVertices)
+	}
+	if after := w.NumVertices() + m.NewVertices; after > MaxVertices || after < w.NumVertices() {
+		return fmt.Errorf("graph: mutation grows graph to %d vertices, past MaxVertices=%d",
+			w.NumVertices()+m.NewVertices, MaxVertices)
+	}
+	old := VertexID(w.NumVertices())
+	n := old + VertexID(m.NewVertices)
+	for _, e := range m.NewEdges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return fmt.Errorf("graph: mutation edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: mutation self-loop at %d", e.U)
+		}
+	}
+	if len(m.RemovedEdges) == 0 {
+		return nil
+	}
+	need := make(map[Edge]int, len(m.RemovedEdges))
+	for _, e := range m.RemovedEdges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("graph: removal (%d,%d) out of range [0,%d)", e.From, e.To, n)
+		}
+		need[normEdge(e.From, e.To)]++
+	}
+	for key, cnt := range need {
+		avail := 0
+		if key.From < old && key.To < old {
+			for _, a := range w.Neighbors(key.From) {
+				if a.To == key.To {
+					avail++
+				}
+			}
+		}
+		for _, e := range m.NewEdges {
+			if normEdge(e.U, e.V) == key {
+				avail++
+			}
+		}
+		if avail < cnt {
+			return fmt.Errorf("graph: removal of absent edge {%d,%d}", key.From, key.To)
+		}
+	}
+	return nil
+}
+
+// normEdge orders an undirected edge's endpoints canonically.
+func normEdge(u, v VertexID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{From: u, To: v}
 }
 
 // TouchedVertices returns the set of pre-existing vertices adjacent to a

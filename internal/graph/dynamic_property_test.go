@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomWeighted builds a random simple weighted graph for property runs.
+func randomWeighted(src *rng.Source, n int) *Weighted {
+	w := NewWeighted(n)
+	edges := 2 * n
+	for i := 0; i < edges; i++ {
+		u := VertexID(src.Intn(n))
+		v := VertexID(src.Intn(n))
+		if u == v {
+			continue
+		}
+		dup := false
+		for _, a := range w.Neighbors(u) {
+			if a.To == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			w.AddEdge(u, v, int32(src.Intn(2)+1))
+		}
+	}
+	return w
+}
+
+// randomMutation builds a random valid mutation batch against w: appended
+// vertices, fresh edges (some incident to the new vertices), and removals
+// sampled from the existing edges without replacement.
+func randomMutation(src *rng.Source, w *Weighted) *Mutation {
+	m := &Mutation{NewVertices: src.Intn(4)}
+	n := w.NumVertices() + m.NewVertices
+	adds := src.Intn(8)
+	for i := 0; i < adds; i++ {
+		u := VertexID(src.Intn(n))
+		v := VertexID(src.Intn(n))
+		if u == v {
+			continue
+		}
+		m.NewEdges = append(m.NewEdges, WeightedEdgeRecord{U: u, V: v, Weight: int32(src.Intn(3))}) // weight 0 exercises the <=0 -> 1 default
+	}
+	var existing []Edge
+	w.EdgesOnce(func(u, v VertexID, _ int32) { existing = append(existing, Edge{From: u, To: v}) })
+	src.Shuffle(len(existing), func(i, j int) { existing[i], existing[j] = existing[j], existing[i] })
+	removals := src.Intn(3)
+	if removals > len(existing) {
+		removals = len(existing)
+	}
+	m.RemovedEdges = append(m.RemovedEdges, existing[:removals]...)
+	return m
+}
+
+// equalWeighted compares two weighted graphs structurally (order-insensitive
+// adjacency multiset comparison).
+func equalWeighted(t *testing.T, a, b *Weighted) bool {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() || a.TotalWeight() != b.TotalWeight() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		u := VertexID(v)
+		if a.Degree(u) != b.Degree(u) || a.WeightedDegree(u) != b.WeightedDegree(u) {
+			return false
+		}
+		seen := map[WeightedArc]int{}
+		for _, arc := range a.Neighbors(u) {
+			seen[arc]++
+		}
+		for _, arc := range b.Neighbors(u) {
+			seen[arc]--
+		}
+		for _, c := range seen {
+			if c != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: a successful Apply preserves the bookkeeping invariants — the
+// vertex count grows by exactly NewVertices, the edge count changes by
+// adds − removals, the degree sum stays equal to 2·Σ per-edge weight, and
+// the weighted-degree sum moves by exactly the weight added minus the
+// weight removed.
+func TestMutationApplyInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		w := randomWeighted(src, 20+src.Intn(60))
+		m := randomMutation(src, w)
+
+		beforeVerts := w.NumVertices()
+		beforeEdges := w.NumEdges()
+		var beforeDegW int64
+		for v := 0; v < beforeVerts; v++ {
+			beforeDegW += w.WeightedDegree(VertexID(v))
+		}
+		var addedW, removedW int64
+		for _, e := range m.NewEdges {
+			wt := int64(e.Weight)
+			if wt <= 0 {
+				wt = 1
+			}
+			addedW += wt
+		}
+		removedSet := map[Edge]bool{}
+		for _, e := range m.RemovedEdges {
+			removedSet[normEdge(e.From, e.To)] = true
+		}
+		w.EdgesOnce(func(u, v VertexID, weight int32) {
+			if removedSet[normEdge(u, v)] {
+				removedW += int64(weight)
+			}
+		})
+
+		firstNew, err := m.Apply(w)
+		if err != nil {
+			t.Logf("seed %d: unexpected Apply error: %v", seed, err)
+			return false
+		}
+		if m.NewVertices > 0 && firstNew != VertexID(beforeVerts) {
+			return false
+		}
+		if m.NewVertices == 0 && firstNew != -1 {
+			return false
+		}
+		if w.NumVertices() != beforeVerts+m.NewVertices {
+			return false
+		}
+		if w.NumEdges() != beforeEdges+int64(len(m.NewEdges))-int64(len(m.RemovedEdges)) {
+			return false
+		}
+		var afterDegW int64
+		for v := 0; v < w.NumVertices(); v++ {
+			afterDegW += w.WeightedDegree(VertexID(v))
+		}
+		if afterDegW != beforeDegW+2*(addedW-removedW) {
+			return false
+		}
+		return afterDegW == 2*w.TotalWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a failing Apply is atomic — whatever makes the batch invalid
+// (absent-edge removal, out-of-range endpoint, self-loop), the graph is
+// byte-for-byte the graph it was before the call.
+func TestMutationApplyAtomicOnErrorProperty(t *testing.T) {
+	f := func(seed uint64, mode uint8) bool {
+		src := rng.New(seed)
+		w := randomWeighted(src, 20+src.Intn(40))
+		m := randomMutation(src, w)
+		n := VertexID(w.NumVertices() + m.NewVertices)
+		switch mode % 4 {
+		case 0: // removal of an edge that never existed between valid endpoints
+			u := VertexID(src.Intn(int(n)))
+			v := u
+			for v == u {
+				v = VertexID(src.Intn(int(n)))
+			}
+			// Remove it once more than it is available (it may legitimately
+			// exist, or be added by this very batch).
+			avail := 0
+			if int(u) < w.NumVertices() && int(v) < w.NumVertices() {
+				for _, a := range w.Neighbors(u) {
+					if a.To == v {
+						avail++
+					}
+				}
+			}
+			for _, e := range m.NewEdges {
+				if normEdge(e.U, e.V) == normEdge(u, v) {
+					avail++
+				}
+			}
+			for i := 0; i <= avail; i++ {
+				m.RemovedEdges = append(m.RemovedEdges, Edge{From: u, To: v})
+			}
+		case 1: // out-of-range addition
+			m.NewEdges = append(m.NewEdges, WeightedEdgeRecord{U: 0, V: n + VertexID(src.Intn(5)), Weight: 1})
+		case 2: // self-loop addition
+			v := VertexID(src.Intn(int(n)))
+			m.NewEdges = append(m.NewEdges, WeightedEdgeRecord{U: v, V: v, Weight: 1})
+		case 3: // out-of-range removal
+			m.RemovedEdges = append(m.RemovedEdges, Edge{From: -1, To: 0})
+		}
+		snapshot := w.Clone()
+		firstNew, err := m.Apply(w)
+		if err == nil {
+			t.Logf("seed %d mode %d: expected an error", seed, mode%4)
+			return false
+		}
+		if firstNew != -1 {
+			return false
+		}
+		return equalWeighted(t, w, snapshot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TouchedVertices is sorted, duplicate-free, and covers exactly
+// the endpoints named by the batch's edges.
+func TestMutationTouchedVerticesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		w := randomWeighted(src, 20+src.Intn(40))
+		m := randomMutation(src, w)
+		got := m.TouchedVertices()
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		want := map[VertexID]bool{}
+		for _, e := range m.NewEdges {
+			want[e.U], want[e.V] = true, true
+		}
+		for _, e := range m.RemovedEdges {
+			want[e.From], want[e.To] = true, true
+		}
+		if len(want) != len(got) {
+			return false
+		}
+		for _, v := range got {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,11 +8,21 @@ import (
 	"strings"
 )
 
+// MaxVertices bounds the vertex count ReadEdgeList accepts and the vertex
+// count a Mutation may grow a graph to. A dense-ID edge list implies an
+// adjacency table of 1 + max(ID) entries, so a hostile (or corrupt)
+// few-byte input naming vertex 2^31−1 — or a mutation batch appending
+// 10^12 vertices — would otherwise commit gigabytes before a single edge
+// exists. The default covers every graph this reproduction runs at laptop
+// scale with two orders of magnitude to spare; raise it for genuinely
+// larger inputs.
+var MaxVertices = 8 << 20
+
 // ReadEdgeList parses a whitespace-separated edge list ("src dst" per line)
 // into a graph with the given directedness. Lines starting with '#' or '%'
 // and blank lines are skipped. Duplicate edges and self-loops are removed.
-// Vertex IDs must be non-negative integers; the vertex count is
-// 1 + max(ID) seen.
+// Vertex IDs must be non-negative integers below MaxVertices; the vertex
+// count is 1 + max(ID) seen.
 func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	b := NewBuilder(0, directed)
 	sc := bufio.NewScanner(r)
@@ -38,6 +48,9 @@ func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		if u >= int64(MaxVertices) || v >= int64(MaxVertices) {
+			return nil, fmt.Errorf("graph: line %d: vertex id %d exceeds MaxVertices=%d", lineNo, max(u, v), MaxVertices)
 		}
 		b.Add(VertexID(u), VertexID(v))
 	}

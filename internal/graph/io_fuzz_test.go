@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hammers the edge-list parser with arbitrary bytes. The
+// contract under fuzz: never panic, never build a structurally invalid
+// graph. Malformed lines (too few fields, non-integer tokens, 64-bit
+// overflowing IDs, negative IDs, IDs past MaxVertices) must surface as
+// errors; on success the graph must be simple — deduplicated, loop-free,
+// with sorted adjacency and an arc count consistent with directedness.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"), true)
+	f.Add([]byte("# comment\n% comment\n\n3 4\n"), false)
+	f.Add([]byte("0 1\n0 1\n1 0\n"), false)         // duplicates (both orders)
+	f.Add([]byte("5 5\n"), true)                    // self-loop
+	f.Add([]byte("0\n"), true)                      // too few fields
+	f.Add([]byte("a b\n"), false)                   // non-integer
+	f.Add([]byte("-1 2\n"), true)                   // negative
+	f.Add([]byte("99999999999999999999 1\n"), true) // overflows int64
+	f.Add([]byte("4294967295 0\n"), false)          // overflows int32 / MaxVertices
+	f.Add([]byte("0 1 extra fields ignored\n"), true)
+	f.Add([]byte("0\t1\r\n"), true)
+	f.Fuzz(func(t *testing.T, data []byte, directed bool) {
+		g, err := ReadEdgeList(bytes.NewReader(data), directed)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("non-nil graph alongside error %v", err)
+			}
+			return
+		}
+		if g.NumVertices() > MaxVertices {
+			t.Fatalf("parser accepted %d vertices past MaxVertices=%d", g.NumVertices(), MaxVertices)
+		}
+		var arcs int64
+		for v := 0; v < g.NumVertices(); v++ {
+			u := VertexID(v)
+			nbrs := g.Neighbors(u)
+			arcs += int64(len(nbrs))
+			for i, to := range nbrs {
+				if to == u {
+					t.Fatalf("self-loop at %d survived parsing", v)
+				}
+				if to < 0 || int(to) >= g.NumVertices() {
+					t.Fatalf("vertex %d has out-of-range neighbor %d", v, to)
+				}
+				if i > 0 && nbrs[i-1] >= to {
+					t.Fatalf("vertex %d adjacency not sorted-unique: %v", v, nbrs)
+				}
+			}
+		}
+		if !directed && arcs%2 != 0 {
+			t.Fatalf("undirected graph with odd arc count %d", arcs)
+		}
+	})
+}
+
+// FuzzReadPartitioning checks the partitioning parser: never panic, and a
+// successful parse is a complete assignment — every vertex labeled exactly
+// once (duplicate assignments must error) with labels inside [0,k).
+func FuzzReadPartitioning(f *testing.F) {
+	f.Add("0 0\n1 1\n2 0\n", uint16(3), uint16(2))
+	f.Add("0 0\n0 1\n", uint16(1), uint16(2)) // duplicate vertex
+	f.Add("0 5\n", uint16(1), uint16(2))      // label out of range
+	f.Add("0 0\n", uint16(2), uint16(1))      // vertex 1 unassigned
+	f.Add("x y\n", uint16(1), uint16(1))      // non-integer
+	f.Add("0 0 0\n", uint16(1), uint16(1))    // too many fields
+	f.Add("# c\n0 0\n", uint16(1), uint16(1)) // comment
+	f.Add("99999999999 0\n", uint16(4), uint16(4))
+	f.Fuzz(func(t *testing.T, text string, nRaw, kRaw uint16) {
+		n := int(nRaw%512) + 1
+		k := int(kRaw%64) + 1
+		labels, err := ReadPartitioning(strings.NewReader(text), n, k)
+		if err != nil {
+			return
+		}
+		if len(labels) != n {
+			t.Fatalf("got %d labels, want %d", len(labels), n)
+		}
+		for v, l := range labels {
+			if l < 0 || int(l) >= k {
+				t.Fatalf("vertex %d labeled %d outside [0,%d)", v, l, k)
+			}
+		}
+		// Round-trip: writing and re-reading must reproduce the labeling.
+		var buf bytes.Buffer
+		if err := WritePartitioning(&buf, labels); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		again, err := ReadPartitioning(&buf, n, k)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		for v := range labels {
+			if labels[v] != again[v] {
+				t.Fatalf("round-trip changed vertex %d: %d -> %d", v, labels[v], again[v])
+			}
+		}
+	})
+}

@@ -141,6 +141,20 @@ func TestMutationApplyErrors(t *testing.T) {
 	if _, err := (&Mutation{NewEdges: []WeightedEdgeRecord{{U: 1, V: 1}}}).Apply(w); err == nil {
 		t.Fatal("self-loop accepted")
 	}
+	if _, err := (&Mutation{NewVertices: -1}).Apply(w); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+	// A hostile append past MaxVertices must be rejected before any
+	// allocation happens (and without overflow tripping the check).
+	if _, err := (&Mutation{NewVertices: MaxVertices + 1}).Apply(w); err == nil {
+		t.Fatal("append past MaxVertices accepted")
+	}
+	if _, err := (&Mutation{NewVertices: int(^uint(0) >> 1)}).Apply(w); err == nil {
+		t.Fatal("overflowing vertex count accepted")
+	}
+	if w.NumVertices() != 2 {
+		t.Fatalf("rejected mutations mutated the graph: %d vertices", w.NumVertices())
+	}
 }
 
 func TestMutationTouchedVertices(t *testing.T) {

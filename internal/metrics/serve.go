@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ServeCounters instruments the live partition-maintenance service
+// (internal/serve) with lock-free counters: lookup traffic and staleness on
+// the read path, mutation/batch volume on the write path, and
+// restabilization/elastic migration volume on the maintenance path. All
+// fields are safe for concurrent use; readers take a consistent-enough
+// Snapshot (individual counters are atomic; cross-counter skew is bounded
+// by in-flight operations, which is the usual monitoring contract).
+type ServeCounters struct {
+	// Read path.
+
+	// Lookups counts vertex→partition lookups served.
+	Lookups atomic.Int64
+	// LookupMisses counts lookups for vertices outside the snapshot (not
+	// yet visible or never created).
+	LookupMisses atomic.Int64
+	// StalenessSum accumulates, per lookup, the number of submitted
+	// mutation batches not yet reflected in the snapshot served (the
+	// mutation-log backlog observed by that lookup). StalenessSum/Lookups
+	// is the mean lookup staleness in batches.
+	StalenessSum atomic.Int64
+
+	// Write path.
+
+	// BatchesApplied counts mutation batches applied to the authoritative
+	// graph; BatchesRejected counts batches refused by validation (the
+	// graph is untouched by a rejected batch).
+	BatchesApplied  atomic.Int64
+	BatchesRejected atomic.Int64
+	// EdgesAdded, EdgesRemoved and VerticesAdded total the applied volume.
+	EdgesAdded    atomic.Int64
+	EdgesRemoved  atomic.Int64
+	VerticesAdded atomic.Int64
+
+	// Maintenance path.
+
+	// SnapshotSwaps counts atomic snapshot publications of any kind.
+	SnapshotSwaps atomic.Int64
+	// Restabilizations counts completed background incremental runs whose
+	// result was merged; RestabDiscarded counts runs thrown away because
+	// the partition count changed while they were in flight.
+	Restabilizations atomic.Int64
+	RestabDiscarded  atomic.Int64
+	// MidRunSnapshots counts snapshots published from a restabilization
+	// run still in progress (per-iteration extraction).
+	MidRunSnapshots atomic.Int64
+	// MigratedVertices and MigratedWeight total the vertices that changed
+	// partition when restabilization results merged, and the weighted
+	// degree they dragged across partitions — the migration-volume figure
+	// the paper reports savings in (Fig. 7b).
+	MigratedVertices atomic.Int64
+	MigratedWeight   atomic.Int64
+	// ElasticResizes counts k→k′ changes; ElasticSeedMoved totals the
+	// vertices moved by the probabilistic relabeling itself (the paper's
+	// n/(k+n) fraction, Eq. 11) before LPA repair.
+	ElasticResizes   atomic.Int64
+	ElasticSeedMoved atomic.Int64
+}
+
+// ServeSnapshot is a plain-value copy of ServeCounters.
+type ServeSnapshot struct {
+	Lookups, LookupMisses, StalenessSum     int64
+	BatchesApplied, BatchesRejected         int64
+	EdgesAdded, EdgesRemoved, VerticesAdded int64
+	SnapshotSwaps, Restabilizations         int64
+	RestabDiscarded, MidRunSnapshots        int64
+	MigratedVertices, MigratedWeight        int64
+	ElasticResizes, ElasticSeedMoved        int64
+}
+
+// Snapshot copies every counter.
+func (c *ServeCounters) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		Lookups:          c.Lookups.Load(),
+		LookupMisses:     c.LookupMisses.Load(),
+		StalenessSum:     c.StalenessSum.Load(),
+		BatchesApplied:   c.BatchesApplied.Load(),
+		BatchesRejected:  c.BatchesRejected.Load(),
+		EdgesAdded:       c.EdgesAdded.Load(),
+		EdgesRemoved:     c.EdgesRemoved.Load(),
+		VerticesAdded:    c.VerticesAdded.Load(),
+		SnapshotSwaps:    c.SnapshotSwaps.Load(),
+		Restabilizations: c.Restabilizations.Load(),
+		RestabDiscarded:  c.RestabDiscarded.Load(),
+		MidRunSnapshots:  c.MidRunSnapshots.Load(),
+		MigratedVertices: c.MigratedVertices.Load(),
+		MigratedWeight:   c.MigratedWeight.Load(),
+		ElasticResizes:   c.ElasticResizes.Load(),
+		ElasticSeedMoved: c.ElasticSeedMoved.Load(),
+	}
+}
+
+// MeanStaleness returns the mean number of mutation batches the served
+// snapshots lagged behind submissions, per lookup (0 with no lookups).
+func (s ServeSnapshot) MeanStaleness() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.StalenessSum) / float64(s.Lookups)
+}
+
+// String formats the headline serving counters on one line.
+func (s ServeSnapshot) String() string {
+	return fmt.Sprintf(
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d)",
+		s.Lookups, s.LookupMisses, s.MeanStaleness(),
+		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected,
+		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
+		s.SnapshotSwaps, s.Restabilizations, s.MidRunSnapshots, s.RestabDiscarded,
+		s.MigratedVertices, s.MigratedWeight, s.ElasticResizes, s.ElasticSeedMoved)
+}

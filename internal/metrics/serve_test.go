@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestServeCountersSnapshot(t *testing.T) {
+	var c ServeCounters
+	c.Lookups.Add(10)
+	c.StalenessSum.Add(5)
+	c.BatchesApplied.Add(3)
+	c.BatchesRejected.Add(1)
+	c.MigratedVertices.Add(7)
+	c.ElasticResizes.Add(2)
+
+	s := c.Snapshot()
+	if s.Lookups != 10 || s.BatchesApplied != 3 || s.BatchesRejected != 1 ||
+		s.MigratedVertices != 7 || s.ElasticResizes != 2 {
+		t.Fatalf("snapshot lost counts: %+v", s)
+	}
+	if got := s.MeanStaleness(); got != 0.5 {
+		t.Fatalf("MeanStaleness = %v, want 0.5", got)
+	}
+	if (ServeSnapshot{}).MeanStaleness() != 0 {
+		t.Fatal("MeanStaleness must be 0 with no lookups")
+	}
+	if str := s.String(); !strings.Contains(str, "lookups=10") || !strings.Contains(str, "batches=3/4") {
+		t.Fatalf("String() missing headline figures: %q", str)
+	}
+}
+
+// The counters must tolerate concurrent writers and readers (they back the
+// serving layer's hot path); run with -race.
+func TestServeCountersConcurrent(t *testing.T) {
+	var c ServeCounters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Lookups.Add(1)
+				c.StalenessSum.Add(2)
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Lookups.Load(); got != 8000 {
+		t.Fatalf("Lookups = %d, want 8000", got)
+	}
+	if got := c.Snapshot().MeanStaleness(); got != 2 {
+		t.Fatalf("MeanStaleness = %v, want 2", got)
+	}
+}

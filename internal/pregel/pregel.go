@@ -133,6 +133,15 @@ type Config struct {
 	Seed uint64
 	// MaxSupersteps bounds the run; 0 means 10_000.
 	MaxSupersteps int
+	// AfterSuperstep, when non-nil, is invoked single-threaded after each
+	// superstep's barrier and master computation with the 0-based index of
+	// the superstep just executed — including the final one when the master
+	// halts. The callback may read engine state (Vertices, Stats,
+	// AggregatedValue) to extract a consistent mid-run snapshot; it must
+	// not mutate vertices or send messages. The serving layer uses this to
+	// publish progressively better labelings while a long restabilization
+	// run is still converging.
+	AfterSuperstep func(superstep int)
 }
 
 type aggOp int
@@ -324,12 +333,17 @@ func (e *Engine[V, E, M]) Run() (int, error) {
 			return e.superstep, nil
 		}
 		e.runSuperstep()
+		halted := false
 		if mp, ok := e.prog.(MasterProgram); ok {
 			m := &Master{aggs: e.aggs, numVertices: len(e.vertices), superstep: e.superstep}
 			mp.MasterCompute(m)
-			if m.halted {
-				return e.superstep + 1, nil
-			}
+			halted = m.halted
+		}
+		if e.cfg.AfterSuperstep != nil {
+			e.cfg.AfterSuperstep(e.superstep)
+		}
+		if halted {
+			return e.superstep + 1, nil
 		}
 	}
 	return e.superstep, nil

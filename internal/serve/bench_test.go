@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// BenchmarkServeLookupUnderChurn measures sustained lookup throughput
+// (lookups/sec via ns/op) while the partitioning is actively maintained
+// underneath: a churn goroutine streams growth batches through the
+// mutation log, degradation triggers fire background restabilization runs,
+// and mid-run snapshots swap in as they are extracted. This is the
+// serving-layer headline number recorded in BENCH_pr2.json.
+func BenchmarkServeLookupUnderChurn(b *testing.B) {
+	g := gen.WattsStrogatz(20000, 10, 0.2, 31)
+	w := graph.Convert(g)
+	opts := core.DefaultOptions(8)
+	opts.Seed = 31
+	opts.MaxIterations = 30
+	p, err := core.NewPartitioner(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shadow := w.Clone()
+	st, err := New(w, res.Labels, Config{
+		Options:       opts,
+		DegradeFactor: 1.02,
+		DegradeSlack:  0.001,
+		LogDepth:      16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Churn: keep the mutation log busy for the whole measurement. The
+	// generator works against a shadow copy so batch construction never
+	// touches the store's graph; TrySubmit sheds load instead of stalling
+	// the benchmark when a restabilization backlog builds up.
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		seed := uint64(1000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mut := gen.GrowthBatch(shadow, 0.002, seed)
+			seed++
+			if err := st.TrySubmit(mut); err == nil {
+				if _, err := mut.Apply(shadow); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var miss atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := graph.VertexID(0)
+		for pb.Next() {
+			if _, ok := st.Lookup(v); !ok {
+				miss.Add(1)
+			}
+			v = (v + 37) % 20000
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-churnDone
+	if err := st.Quiesce(); err != nil {
+		b.Fatal(err)
+	}
+	c := st.Counters().Snapshot()
+	b.ReportMetric(float64(c.BatchesApplied), "batches")
+	b.ReportMetric(float64(c.Restabilizations), "restabs")
+	b.ReportMetric(float64(c.MidRunSnapshots), "midrun-swaps")
+	b.ReportMetric(c.MeanStaleness(), "staleness")
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if miss.Load() != 0 {
+		b.Fatalf("%d lookup misses for always-present vertices", miss.Load())
+	}
+}

@@ -1,0 +1,654 @@
+// Package serve is the live partition-maintenance service: the
+// production-shaped layer that turns Spinner's batch algorithms into a
+// long-running system answering vertex→partition lookups under heavy
+// concurrent traffic while the partitioning evolves underneath — the
+// paper's core claim (§III-D/E) that partitions are *maintained*, not
+// recomputed.
+//
+// # Architecture
+//
+// A Store is built from three decoupled planes:
+//
+//   - Read plane: lookups load an immutable Snapshot through one atomic
+//     pointer. No locks, no contention with writers; a swapped snapshot is
+//     never mutated again, so readers hold it as long as they like.
+//   - Write plane: graph.Mutation batches enter a bounded mutation log (a
+//     buffered channel). Submit blocks for backpressure, TrySubmit fails
+//     fast with ErrLogFull. A single maintenance goroutine owns the
+//     authoritative graph; it drains the log, applies each batch
+//     atomically, labels appended vertices on the least-loaded partitions
+//     (§III-D), and swaps a fresh snapshot — so a batch becomes visible to
+//     lookups within one loop turn, without waiting for any LPA run.
+//   - Maintenance plane: the loop tracks the cut ratio (1−φ) after every
+//     batch. When it degrades past the configured factor of the last
+//     stabilized baseline, a background restabilization goroutine runs the
+//     incremental Spinner adaptation (§III-D) on a clone of the graph
+//     while the loop keeps serving and ingesting. Completed runs merge
+//     back label-by-label; vertices appended mid-run keep their seeded
+//     labels until the next run. Long runs publish per-iteration mid-run
+//     snapshots (monotonically improving labelings) through the same
+//     atomic swap. Elastic partition-count changes (§III-E) relabel only
+//     the paper's n/(k+n) fraction immediately — lookups never see an
+//     invalid label — and then repair locality with the same background
+//     machinery; a restabilization in flight across a resize is discarded
+//     rather than merged, since its labels live in the old k-space.
+//
+// Determinism: with a fixed Options.Seed the maintenance plane is
+// deterministic in the sequence of log entries — restabilization seeds are
+// derived from the run epoch, so a quiesced submit/await sequence yields
+// identical labels regardless of worker count or wall-clock timing.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Errors returned by the submission paths.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("serve: store closed")
+	// ErrLogFull is returned by TrySubmit when the bounded mutation log is
+	// at capacity (backpressure; retry or fall back to Submit).
+	ErrLogFull = errors.New("serve: mutation log full")
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Options configures the partitioner used for restabilization and
+	// elastic repair. Options.K is the initial partition count. The zero
+	// value of a field falls back to core defaults via normalization.
+	Options core.Options
+	// LogDepth bounds the mutation log; Submit blocks (and TrySubmit
+	// fails) when this many entries are pending. Default 64.
+	LogDepth int
+	// DegradeFactor triggers a restabilization run when the tracked cut
+	// ratio exceeds baseline·DegradeFactor + DegradeSlack, where baseline
+	// is the cut ratio achieved by the last stabilization. Default 1.10
+	// (10% degradation).
+	DegradeFactor float64
+	// DegradeSlack is the additive term of the trigger, guarding against a
+	// zero baseline on perfectly separable graphs. Default 0.005.
+	DegradeSlack float64
+	// MidRunOff disables the per-iteration snapshot publication from
+	// in-flight restabilization runs (on by default).
+	MidRunOff bool
+}
+
+func (c *Config) normalize() error {
+	// Validate the partitioner configuration up front so a misconfigured
+	// store fails at construction, not at the first background run.
+	if _, err := core.NewPartitioner(c.Options); err != nil {
+		return err
+	}
+	if c.LogDepth == 0 {
+		c.LogDepth = 64
+	}
+	if c.LogDepth < 1 {
+		return fmt.Errorf("serve: LogDepth=%d", c.LogDepth)
+	}
+	if c.DegradeFactor == 0 {
+		c.DegradeFactor = 1.10
+	}
+	if c.DegradeFactor < 1 {
+		return fmt.Errorf("serve: DegradeFactor=%v, want >= 1", c.DegradeFactor)
+	}
+	if c.DegradeSlack == 0 {
+		c.DegradeSlack = 0.005
+	}
+	if c.DegradeSlack < 0 {
+		return fmt.Errorf("serve: negative DegradeSlack")
+	}
+	return nil
+}
+
+// Snapshot is an immutable view of the partitioning. Lookups resolve
+// against exactly one snapshot, so a reader sees a single consistent
+// labeling even while batches and restabilizations land underneath.
+type Snapshot struct {
+	// Labels maps vertex → partition; len(Labels) is the vertex count at
+	// publication. The slice is immutable: neither the Store nor callers
+	// may write to it.
+	Labels []int32
+	// K is the partition count this snapshot's labels live in.
+	K int
+	// Version counts snapshot publications (monotonically increasing).
+	Version uint64
+	// AppliedBatches counts mutation batches reflected in this snapshot.
+	AppliedBatches uint64
+	// Epoch counts restabilization merges reflected in this snapshot.
+	Epoch uint64
+	// CutRatio is 1−φ of this labeling on the graph it was published
+	// against: the fraction of edge weight crossing partitions.
+	CutRatio float64
+}
+
+// Lookup resolves one vertex against the snapshot.
+func (s *Snapshot) Lookup(v graph.VertexID) (int32, bool) {
+	if v < 0 || int(v) >= len(s.Labels) {
+		return -1, false
+	}
+	return s.Labels[v], true
+}
+
+// logEntry is one unit of maintenance work: a mutation batch, an elastic
+// resize, or a quiesce sentinel.
+type logEntry struct {
+	mut     *graph.Mutation
+	newK    int        // >0: elastic resize
+	quiesce chan error // non-nil: reply when drained and stable
+}
+
+// restabResult carries a completed background run back to the loop.
+type restabResult struct {
+	gen    uint64 // resize generation the run belongs to
+	base   int    // vertex count the run saw
+	labels []int32
+	err    error
+}
+
+// midrunNote carries one per-iteration labeling out of an in-flight run.
+// Only the latest unconsumed note is kept (older ones are superseded).
+// Notes are stamped with both the resize generation and the epoch the run
+// started at, so a leftover note from a completed run can never merge into
+// a successor run's window.
+type midrunNote struct {
+	gen    uint64
+	epoch  uint64
+	base   int
+	labels []int32
+}
+
+// Store is the live partition-maintenance service. See the package comment
+// for the architecture. All exported methods are safe for concurrent use.
+type Store struct {
+	cfg  Config
+	ctr  metrics.ServeCounters
+	snap atomic.Pointer[Snapshot]
+
+	submitted atomic.Int64 // batches submitted (staleness numerator)
+	applied   atomic.Int64 // batches applied
+	lastErr   atomic.Pointer[error]
+
+	log    chan logEntry
+	closed chan struct{} // closes when Close is called
+	done   chan struct{} // closes when the maintenance loop exits
+
+	// Maintenance-goroutine state (no locks: single owner).
+	w          *graph.Weighted
+	labels     []int32
+	k          int
+	gen        uint64  // bumped by every resize; stamps in-flight runs
+	epoch      uint64  // completed restabilization merges
+	version    uint64  // snapshot publications
+	baseline   float64 // cut ratio achieved by the last stabilization
+	cut        float64 // current cut ratio
+	wantRestab bool    // forced run requested (elastic repair)
+	dirtySince int     // batches applied since the last run started
+	affected   map[graph.VertexID]struct{}
+	inflight   bool
+	restabDone chan restabResult
+	midrun     chan midrunNote // capacity 1; latest-wins mailbox
+	quiescers  []chan error
+}
+
+// New builds a Store over an already-partitioned weighted graph. The Store
+// takes ownership of w and labels: the caller must not use either again.
+// len(labels) must equal w.NumVertices() and every label must be inside
+// [0, cfg.Options.K).
+func New(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(labels) != w.NumVertices() {
+		return nil, fmt.Errorf("serve: %d labels for %d vertices", len(labels), w.NumVertices())
+	}
+	if err := metrics.ValidateLabels(labels, cfg.Options.K); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Store{
+		cfg:        cfg,
+		log:        make(chan logEntry, cfg.LogDepth),
+		closed:     make(chan struct{}),
+		done:       make(chan struct{}),
+		w:          w,
+		labels:     labels,
+		k:          cfg.Options.K,
+		affected:   make(map[graph.VertexID]struct{}),
+		restabDone: make(chan restabResult, 1),
+		midrun:     make(chan midrunNote, 1),
+	}
+	s.cut = 1 - metrics.Phi(w, labels)
+	s.baseline = s.cut
+	s.publish()
+	go s.loop()
+	return s, nil
+}
+
+// Bootstrap partitions g from scratch and starts a Store over the result —
+// the one-call path for drivers.
+func Bootstrap(g *graph.Graph, cfg Config) (*Store, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	w := graph.Convert(g)
+	p, err := core.NewPartitioner(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		return nil, err
+	}
+	return New(w, res.Labels, cfg)
+}
+
+// Lookup returns the partition of v in the current snapshot. The second
+// return is false when v is not (yet) visible: either never created, or
+// appended by a batch whose snapshot has not been published.
+func (s *Store) Lookup(v graph.VertexID) (int32, bool) {
+	snap := s.snap.Load()
+	s.ctr.Lookups.Add(1)
+	if lag := s.submitted.Load() - int64(snap.AppliedBatches); lag > 0 {
+		s.ctr.StalenessSum.Add(lag)
+	}
+	l, ok := snap.Lookup(v)
+	if !ok {
+		s.ctr.LookupMisses.Add(1)
+	}
+	return l, ok
+}
+
+// Snapshot returns the current immutable snapshot.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Counters exposes the serving metrics.
+func (s *Store) Counters() *metrics.ServeCounters { return &s.ctr }
+
+// Err returns the most recent batch-application error, if any. Rejected
+// batches do not stop the store; they are counted and dropped.
+func (s *Store) Err() error {
+	if p := s.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Submit appends a mutation batch to the log, blocking for backpressure
+// while the log is full. The Store takes ownership of m. Returns ErrClosed
+// after Close.
+func (s *Store) Submit(m *graph.Mutation) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.log <- logEntry{mut: m}:
+		s.submitted.Add(1)
+		return nil
+	case <-s.closed:
+		return ErrClosed
+	}
+}
+
+// TrySubmit is the non-blocking Submit: ErrLogFull when the bounded log is
+// at capacity.
+func (s *Store) TrySubmit(m *graph.Mutation) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.log <- logEntry{mut: m}:
+		s.submitted.Add(1)
+		return nil
+	case <-s.closed:
+		return ErrClosed
+	default:
+		return ErrLogFull
+	}
+}
+
+// Resize requests an elastic change to newK partitions (§III-E). The
+// relabeling of the n/(k+n) fraction is applied as soon as the entry is
+// processed — lookups immediately see valid [0,newK) labels — and a
+// background repair run restores locality. Ordered with Submit through the
+// same log.
+func (s *Store) Resize(newK int) error {
+	if newK < 1 {
+		return fmt.Errorf("serve: resize to k=%d", newK)
+	}
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.log <- logEntry{newK: newK}:
+		return nil
+	case <-s.closed:
+		return ErrClosed
+	}
+}
+
+// Quiesce blocks until every entry submitted before the call has been
+// applied and no restabilization is in flight or pending — the state in
+// which the snapshot is fully stabilized. It returns the store's most
+// recent batch-application error, if any. Used by tests and orderly
+// shutdown; a serving deployment never needs it.
+func (s *Store) Quiesce() error {
+	reply := make(chan error, 1)
+	select {
+	case s.log <- logEntry{quiesce: reply}:
+	case <-s.closed:
+		return ErrClosed
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Close stops the maintenance loop and waits for it (and any in-flight
+// restabilization, whose result is discarded) to exit. Lookups remain
+// valid against the last published snapshot after Close.
+func (s *Store) Close() error {
+	select {
+	case <-s.closed:
+		<-s.done
+		return nil
+	default:
+	}
+	close(s.closed)
+	<-s.done
+	return nil
+}
+
+// publish swaps in a new immutable snapshot built from the loop's state.
+func (s *Store) publish() {
+	s.version++
+	labels := make([]int32, len(s.labels))
+	copy(labels, s.labels)
+	s.snap.Store(&Snapshot{
+		Labels:         labels,
+		K:              s.k,
+		Version:        s.version,
+		AppliedBatches: uint64(s.applied.Load()),
+		Epoch:          s.epoch,
+		CutRatio:       s.cut,
+	})
+	s.ctr.SnapshotSwaps.Add(1)
+}
+
+// loop is the maintenance goroutine: sole owner of the authoritative graph
+// and labels.
+func (s *Store) loop() {
+	defer close(s.done)
+	for {
+		s.maybeRestabilize()
+		s.maybeReleaseQuiescers()
+		select {
+		case e := <-s.log:
+			s.handle(e)
+		case res := <-s.restabDone:
+			s.merge(res)
+		case note := <-s.midrun:
+			s.mergeMidrun(note)
+		case <-s.closed:
+			s.drainAndExit()
+			return
+		}
+	}
+}
+
+// drainAndExit waits out an in-flight run (discarding it), fails pending
+// quiescers, and drops unprocessed log entries.
+func (s *Store) drainAndExit() {
+	if s.inflight {
+		<-s.restabDone
+		s.inflight = false
+		s.ctr.RestabDiscarded.Add(1)
+	}
+	for {
+		select {
+		case e := <-s.log:
+			if e.quiesce != nil {
+				e.quiesce <- ErrClosed
+			}
+		default:
+			for _, q := range s.quiescers {
+				q <- ErrClosed
+			}
+			return
+		}
+	}
+}
+
+// handle processes one log entry.
+func (s *Store) handle(e logEntry) {
+	switch {
+	case e.quiesce != nil:
+		s.quiescers = append(s.quiescers, e.quiesce)
+	case e.newK > 0:
+		s.resize(e.newK)
+	default:
+		s.applyBatch(e.mut)
+	}
+}
+
+// applyBatch applies one mutation batch to the authoritative graph, seeds
+// appended vertices on the least-loaded partitions, refreshes the cut
+// ratio, and publishes. A batch that fails validation is counted, recorded
+// and dropped — the graph is untouched (Mutation.Apply is atomic).
+func (s *Store) applyBatch(m *graph.Mutation) {
+	oldN := s.w.NumVertices()
+	firstNew, err := m.Apply(s.w)
+	if err != nil {
+		s.ctr.BatchesRejected.Add(1)
+		s.lastErr.Store(&err)
+		s.applied.Add(1) // resolved, though rejected
+		s.publish()      // refresh AppliedBatches so staleness converges
+		return
+	}
+	if firstNew >= 0 {
+		grown := make([]int32, s.w.NumVertices())
+		copy(grown, s.labels)
+		core.SeedNewVertices(s.w, grown, oldN, s.k)
+		s.labels = grown
+		s.ctr.VerticesAdded.Add(int64(s.w.NumVertices() - oldN))
+		for v := oldN; v < s.w.NumVertices(); v++ {
+			s.affected[graph.VertexID(v)] = struct{}{}
+		}
+	}
+	for _, v := range m.TouchedVertices() {
+		if int(v) < s.w.NumVertices() {
+			s.affected[v] = struct{}{}
+		}
+	}
+	s.ctr.EdgesAdded.Add(int64(len(m.NewEdges)))
+	s.ctr.EdgesRemoved.Add(int64(len(m.RemovedEdges)))
+	s.ctr.BatchesApplied.Add(1)
+	s.applied.Add(1)
+	s.dirtySince++
+	s.cut = 1 - metrics.Phi(s.w, s.labels)
+	s.publish()
+}
+
+// resize performs the elastic step of §III-E: relabel the n/(k+n) fraction
+// (or collapse removed partitions) immediately and deterministically, then
+// schedule a background repair run. An in-flight restabilization belongs
+// to the old k-space; bumping the generation invalidates it.
+func (s *Store) resize(newK int) {
+	if newK == s.k {
+		return
+	}
+	seed := s.cfg.Options.Seed ^ (0x9e37*s.gen + 0xb5)
+	relabeled, err := core.ElasticRelabel(s.labels, s.k, newK, seed)
+	if err != nil {
+		s.lastErr.Store(&err)
+		return
+	}
+	moved := 0
+	for v := range relabeled {
+		if relabeled[v] != s.labels[v] {
+			moved++
+		}
+	}
+	s.labels = relabeled
+	s.k = newK
+	s.gen++
+	s.wantRestab = true
+	s.ctr.ElasticResizes.Add(1)
+	s.ctr.ElasticSeedMoved.Add(int64(moved))
+	s.cut = 1 - metrics.Phi(s.w, s.labels)
+	s.publish()
+}
+
+// shouldRestabilize evaluates the degradation trigger.
+func (s *Store) shouldRestabilize() bool {
+	if s.wantRestab {
+		return true
+	}
+	return s.dirtySince > 0 && s.cut > s.baseline*s.cfg.DegradeFactor+s.cfg.DegradeSlack
+}
+
+// maybeRestabilize starts a background incremental run when the trigger
+// fires and none is in flight. The run adapts a clone of the graph, so the
+// loop keeps ingesting batches and serving lookups; per-iteration labels
+// stream back through the mid-run mailbox.
+func (s *Store) maybeRestabilize() {
+	if s.inflight || !s.shouldRestabilize() {
+		return
+	}
+	s.wantRestab = false
+	s.dirtySince = 0
+	clone := s.w.Clone()
+	prev := make([]int32, len(s.labels))
+	copy(prev, s.labels)
+	var affected []graph.VertexID
+	if s.cfg.Options.AffectedOnly {
+		affected = make([]graph.VertexID, 0, len(s.affected))
+		for v := range s.affected {
+			affected = append(affected, v)
+		}
+	}
+	s.affected = make(map[graph.VertexID]struct{})
+
+	opts := s.cfg.Options
+	opts.K = s.k
+	// Epoch-derived seed: deterministic across runs of the same entry
+	// sequence, distinct across restabilizations.
+	opts.Seed = s.cfg.Options.Seed ^ (0xa5a5*(s.epoch+1) + 0x51*s.gen)
+	// A completed run's final note may still sit unconsumed in the mailbox
+	// (the loop's select drains restabDone and midrun in arbitrary order);
+	// clear it so it cannot be attributed to the run starting now.
+	select {
+	case <-s.midrun:
+	default:
+	}
+	gen, base, epoch := s.gen, clone.NumVertices(), s.epoch
+	if !s.cfg.MidRunOff {
+		opts.IterationSnapshot = func(_ int, labels []int32) {
+			note := midrunNote{gen: gen, epoch: epoch, base: base, labels: labels}
+			// Latest-wins mailbox: drop the stale note, never block the run.
+			for {
+				select {
+				case s.midrun <- note:
+					return
+				default:
+				}
+				select {
+				case <-s.midrun:
+				default:
+				}
+			}
+		}
+	}
+	s.inflight = true
+	go func() {
+		p, err := core.NewPartitioner(opts)
+		if err != nil {
+			s.restabDone <- restabResult{gen: gen, base: base, err: err}
+			return
+		}
+		res, err := p.Adapt(clone, prev, affected)
+		if err != nil {
+			s.restabDone <- restabResult{gen: gen, base: base, err: err}
+			return
+		}
+		s.restabDone <- restabResult{gen: gen, base: base, labels: res.Labels}
+	}()
+}
+
+// mergeMidrun publishes an in-flight run's intermediate labeling: run
+// labels for the vertices the run saw, current (seeded) labels for any
+// appended since. Stale notes — a resize landed (gen), or the note belongs
+// to an already-merged run (epoch) — are dropped.
+func (s *Store) mergeMidrun(note midrunNote) {
+	if note.gen != s.gen || note.epoch != s.epoch || !s.inflight {
+		return
+	}
+	merged := make([]int32, len(s.labels))
+	copy(merged, note.labels[:note.base])
+	copy(merged[note.base:], s.labels[note.base:])
+	s.labels = merged
+	s.cut = 1 - metrics.Phi(s.w, s.labels)
+	s.ctr.MidRunSnapshots.Add(1)
+	s.publish()
+}
+
+// merge lands a completed restabilization: counts the migration volume,
+// adopts the run's labels (plus seeded labels for vertices appended during
+// the run), resets the degradation baseline, and publishes. Runs from a
+// previous resize generation are discarded — their labels are in the wrong
+// k-space.
+func (s *Store) merge(res restabResult) {
+	s.inflight = false
+	if res.err != nil {
+		s.lastErr.Store(&res.err)
+		s.ctr.RestabDiscarded.Add(1)
+		return
+	}
+	if res.gen != s.gen {
+		s.ctr.RestabDiscarded.Add(1)
+		return
+	}
+	merged := make([]int32, len(s.labels))
+	copy(merged, res.labels[:res.base])
+	copy(merged[res.base:], s.labels[res.base:])
+	verts, weight := cluster.MigrationVolume(s.w, s.labels, merged)
+	s.ctr.MigratedVertices.Add(verts)
+	s.ctr.MigratedWeight.Add(weight)
+	s.labels = merged
+	s.epoch++
+	s.ctr.Restabilizations.Add(1)
+	s.cut = 1 - metrics.Phi(s.w, s.labels)
+	s.baseline = s.cut
+	s.publish()
+}
+
+// maybeReleaseQuiescers answers pending Quiesce calls once the store is
+// fully drained: no log backlog, no run in flight, no trigger pending.
+func (s *Store) maybeReleaseQuiescers() {
+	if len(s.quiescers) == 0 {
+		return
+	}
+	if s.inflight || len(s.log) > 0 || len(s.midrun) > 0 || s.shouldRestabilize() {
+		return
+	}
+	err := s.Err()
+	for _, q := range s.quiescers {
+		q <- err
+	}
+	s.quiescers = nil
+}

@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// twoClusters builds a weighted graph of two dense pseudo-random clusters
+// of size half joined by a single bridge, with the obvious 2-way labeling.
+// Its near-zero cut ratio makes restabilization triggers easy to provoke.
+func twoClusters(half int) (*graph.Weighted, []int32) {
+	w := graph.NewWeighted(2 * half)
+	addClique := func(off int) {
+		for i := 0; i < half; i++ {
+			for j := 1; j <= 6; j++ {
+				u := (i + j*j*7 + 13*j) % half
+				if u != i && i < u {
+					dup := false
+					for _, a := range w.Neighbors(graph.VertexID(off + i)) {
+						if a.To == graph.VertexID(off+u) {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						w.AddEdge(graph.VertexID(off+i), graph.VertexID(off+u), 2)
+					}
+				}
+			}
+		}
+	}
+	addClique(0)
+	addClique(half)
+	w.AddEdge(0, graph.VertexID(half), 2)
+	labels := make([]int32, 2*half)
+	for v := half; v < 2*half; v++ {
+		labels[v] = 1
+	}
+	return w, labels
+}
+
+func storeOpts(k int, seed uint64) core.Options {
+	o := core.DefaultOptions(k)
+	o.Seed = seed
+	o.NumWorkers = 2
+	o.MaxIterations = 60
+	return o
+}
+
+func TestStoreLookupAndSnapshot(t *testing.T) {
+	w, labels := twoClusters(40)
+	st, err := New(w, labels, Config{Options: storeOpts(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if l, ok := st.Lookup(0); !ok || l != 0 {
+		t.Fatalf("Lookup(0) = %d,%v want 0,true", l, ok)
+	}
+	if l, ok := st.Lookup(41); !ok || l != 1 {
+		t.Fatalf("Lookup(41) = %d,%v want 1,true", l, ok)
+	}
+	if _, ok := st.Lookup(-1); ok {
+		t.Fatal("negative vertex resolved")
+	}
+	if _, ok := st.Lookup(10_000); ok {
+		t.Fatal("out-of-range vertex resolved")
+	}
+	snap := st.Snapshot()
+	if snap.K != 2 || len(snap.Labels) != 80 || snap.Version == 0 {
+		t.Fatalf("bad initial snapshot %+v", snap)
+	}
+	c := st.Counters().Snapshot()
+	if c.Lookups != 4 || c.LookupMisses != 2 {
+		t.Fatalf("counters %v", c)
+	}
+}
+
+func TestStoreConstructionValidation(t *testing.T) {
+	w, labels := twoClusters(10)
+	if _, err := New(w, labels[:5], Config{Options: storeOpts(2, 1)}); err == nil {
+		t.Fatal("short label slice accepted")
+	}
+	bad := append([]int32(nil), labels...)
+	bad[3] = 7
+	if _, err := New(w, bad, Config{Options: storeOpts(2, 1)}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := New(w, labels, Config{Options: core.Options{K: 0}}); err == nil {
+		t.Fatal("invalid partitioner options accepted")
+	}
+	if _, err := New(w, labels, Config{Options: storeOpts(2, 1), DegradeFactor: 0.5}); err == nil {
+		t.Fatal("DegradeFactor < 1 accepted")
+	}
+}
+
+// New vertices arriving in batches become visible to lookups with valid,
+// least-loaded-seeded labels, without any restabilization run.
+func TestStoreSeedsNewVertices(t *testing.T) {
+	w, labels := twoClusters(40)
+	st, err := New(w, labels, Config{Options: storeOpts(2, 1), DegradeFactor: 100}) // never restabilize
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	mut := &graph.Mutation{NewVertices: 10}
+	for i := 0; i < 10; i++ {
+		mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{U: graph.VertexID(80 + i), V: graph.VertexID(i), Weight: 2})
+	}
+	if err := st.Submit(mut); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if len(snap.Labels) != 90 {
+		t.Fatalf("snapshot has %d labels, want 90", len(snap.Labels))
+	}
+	if err := metrics.ValidateLabels(snap.Labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 80; v++ {
+		if snap.Labels[v] != labels[v] {
+			t.Fatalf("existing vertex %d moved without a restabilization", v)
+		}
+	}
+	c := st.Counters().Snapshot()
+	if c.VerticesAdded != 10 || c.BatchesApplied != 1 || c.Restabilizations != 0 {
+		t.Fatalf("counters %v", c)
+	}
+}
+
+// A batch that fails validation must leave the store exactly as it was:
+// same labels, same vertex count, same cut — and later batches still apply.
+func TestStoreRejectsBadBatchAtomically(t *testing.T) {
+	w, labels := twoClusters(40)
+	st, err := New(w, labels, Config{Options: storeOpts(2, 1), DegradeFactor: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	before := st.Snapshot()
+
+	bad := &graph.Mutation{RemovedEdges: []graph.Edge{{From: 1, To: 2}, {From: 1, To: 2}, {From: 1, To: 2}}}
+	if err := st.Submit(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quiesce(); err == nil {
+		t.Fatal("Quiesce did not surface the batch rejection")
+	}
+	after := st.Snapshot()
+	if len(after.Labels) != len(before.Labels) || after.CutRatio != before.CutRatio {
+		t.Fatalf("rejected batch changed state: %+v -> %+v", before, after)
+	}
+	if st.Err() == nil {
+		t.Fatal("Err() empty after rejection")
+	}
+	c := st.Counters().Snapshot()
+	if c.BatchesRejected != 1 || c.BatchesApplied != 0 {
+		t.Fatalf("counters %v", c)
+	}
+
+	good := &graph.Mutation{NewEdges: []graph.WeightedEdgeRecord{{U: 0, V: 2, Weight: 2}}}
+	if err := st.Submit(good); err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Quiesce() // still reports the sticky last error; application proceeds
+	if got := st.Counters().BatchesApplied.Load(); got != 1 {
+		t.Fatalf("good batch after rejection not applied: %d", got)
+	}
+}
+
+// Degrading the cut past the threshold triggers a background run that
+// restores it; the run must improve the cut and count migration volume.
+func TestStoreRestabilizationTrigger(t *testing.T) {
+	w, labels := twoClusters(60)
+	st, err := New(w, labels, Config{Options: storeOpts(2, 3), DegradeFactor: 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	base := st.Snapshot().CutRatio
+
+	// Move a block of cluster-0 vertices' worth of edges across: add many
+	// cross-cluster edges to wreck locality.
+	mut := &graph.Mutation{}
+	for i := 0; i < 120; i++ {
+		u := graph.VertexID(i % 60)
+		v := graph.VertexID(60 + (i*7)%60)
+		mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{U: u, V: v, Weight: 2})
+	}
+	if err := st.Submit(mut); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Counters().Snapshot()
+	if c.Restabilizations < 1 {
+		t.Fatalf("no restabilization ran (counters %v)", c)
+	}
+	snap := st.Snapshot()
+	if snap.Epoch < 1 {
+		t.Fatalf("snapshot epoch %d, want >= 1", snap.Epoch)
+	}
+	if err := metrics.ValidateLabels(snap.Labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.MigratedVertices > 0 && c.MigratedWeight == 0 {
+		t.Fatal("migrated vertices with zero dragged weight")
+	}
+	// The run must not leave the cut materially worse than where the batch
+	// pushed it; on this topology it reliably improves it.
+	degraded := 1 - metricsPhiOnSubmit(t, w, labels, mut)
+	if snap.CutRatio > degraded {
+		t.Fatalf("restabilized cut %.4f worse than degraded cut %.4f (baseline %.4f)", snap.CutRatio, degraded, base)
+	}
+}
+
+// metricsPhiOnSubmit replays the batch on a private copy to compute the
+// degraded cut the store saw before restabilizing.
+func metricsPhiOnSubmit(t *testing.T, w *graph.Weighted, labels []int32, mut *graph.Mutation) float64 {
+	t.Helper()
+	// w was handed to the store; rebuild an identical copy.
+	cp, lcp := twoClusters(60)
+	_ = w
+	if _, err := mut.Apply(cp); err != nil {
+		t.Fatal(err)
+	}
+	return metrics.Phi(cp, lcp)
+}
+
+// Acceptance criterion: an elastic k→k+2 change must migrate incrementally
+// (the probabilistic n/(k+n) fraction plus LPA repair, never a full
+// recompute) and land within 10% of a from-scratch run's cut ratio on the
+// same graph.
+func TestStoreElasticResizeIncremental(t *testing.T) {
+	const oldK, newK = 8, 10
+	g := gen.WattsStrogatz(4000, 10, 0.2, 17)
+	w := graph.Convert(g)
+
+	p, err := core.NewPartitioner(storeOpts(oldK, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := p.PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLabels := append([]int32(nil), baseRes.Labels...)
+
+	st, err := New(w.Clone(), append([]int32(nil), baseRes.Labels...), Config{Options: storeOpts(oldK, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Resize(newK); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.K != newK {
+		t.Fatalf("snapshot k = %d, want %d", snap.K, newK)
+	}
+	if err := metrics.ValidateLabels(snap.Labels, newK); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Counters().Snapshot()
+	if c.ElasticResizes != 1 {
+		t.Fatalf("counters %v", c)
+	}
+	// The probabilistic relabeling moves ≈ n/(k+n) = 20% of vertices.
+	seedFrac := float64(c.ElasticSeedMoved) / 4000
+	if seedFrac < 0.1 || seedFrac > 0.35 {
+		t.Fatalf("elastic seed moved %.1f%% of vertices, want ≈20%%", 100*seedFrac)
+	}
+
+	// Incrementality: the end-to-end move fraction stays far below a
+	// from-scratch recompute, which reshuffles nearly everything.
+	scratch, err := core.NewPartitioner(storeOpts(newK, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchRes, err := scratch.PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elasticMoved := metrics.Difference(baseLabels, snap.Labels)
+	scratchMoved := metrics.Difference(baseLabels, scratchRes.Labels)
+	if elasticMoved >= scratchMoved {
+		t.Fatalf("elastic moved %.1f%% of vertices, scratch moved %.1f%% — not incremental",
+			100*elasticMoved, 100*scratchMoved)
+	}
+	if elasticMoved > 0.6 {
+		t.Fatalf("elastic moved %.1f%% of vertices — effectively a recompute", 100*elasticMoved)
+	}
+
+	// Quality: cut ratio within 10% of from-scratch.
+	scratchCut := 1 - metrics.Phi(w, scratchRes.Labels)
+	if snap.CutRatio > scratchCut*1.10+0.01 {
+		t.Fatalf("elastic cut %.4f not within 10%% of scratch cut %.4f", snap.CutRatio, scratchCut)
+	}
+}
+
+// Acceptance criterion: concurrent lookups stay valid and race-clean while
+// an in-flight restabilization (triggered by concurrent mutation batches)
+// runs underneath. Run with -race.
+func TestStoreConcurrentLookupsDuringRestabilization(t *testing.T) {
+	g := gen.WattsStrogatz(3000, 8, 0.2, 23)
+	w := graph.Convert(g)
+	p, err := core.NewPartitioner(storeOpts(4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := w.Clone()
+	st, err := New(w, res.Labels, Config{Options: storeOpts(4, 7), DegradeFactor: 1.01, DegradeSlack: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var lookupsDone sync.WaitGroup
+	var invalid atomic.Int64
+	for r := 0; r < 4; r++ {
+		lookupsDone.Add(1)
+		go func(r int) {
+			defer lookupsDone.Done()
+			v := graph.VertexID(r * 31)
+			var lastVersion uint64
+			for !stop.Load() {
+				snap := st.Snapshot()
+				if snap.Version < lastVersion {
+					invalid.Add(1) // versions must be monotonic per reader
+				}
+				lastVersion = snap.Version
+				l, ok := st.Lookup(v % graph.VertexID(len(snap.Labels)))
+				if !ok || l < 0 || int(l) >= snap.K {
+					// The vertex may be beyond a *newer* snapshot's range;
+					// invalid only when inside and mislabeled.
+					if ok {
+						invalid.Add(1)
+					}
+				}
+				v += 7
+			}
+		}(r)
+	}
+
+	// Writer: degrade locality hard so a restabilization must trigger, and
+	// keep batches flowing while it runs.
+	deadline := time.After(20 * time.Second)
+	for batch := 0; ; batch++ {
+		mut := gen.GrowthBatch(shadow, 0.01, uint64(100+batch))
+		if _, err := mut.Apply(shadow); err != nil {
+			t.Fatal(err)
+		}
+		cp := &graph.Mutation{NewEdges: append([]graph.WeightedEdgeRecord(nil), mut.NewEdges...)}
+		if err := st.Submit(cp); err != nil {
+			t.Fatal(err)
+		}
+		if st.Counters().Restabilizations.Load() >= 1 {
+			break // lookups demonstrably overlapped a full run
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no restabilization completed within deadline")
+		default:
+		}
+	}
+	stop.Store(true)
+	lookupsDone.Wait()
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if invalid.Load() != 0 {
+		t.Fatalf("%d invalid lookups observed", invalid.Load())
+	}
+	c := st.Counters().Snapshot()
+	if c.Lookups == 0 || c.BatchesApplied == 0 || c.Restabilizations == 0 {
+		t.Fatalf("concurrency test exercised nothing: %v", c)
+	}
+	if err := metrics.ValidateLabels(st.Snapshot().Labels, st.Snapshot().K); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With a fixed seed, a quiesced entry sequence must produce bit-identical
+// labels across repeated runs — at 1 and at 4 workers (compared within
+// each worker count, as in the core determinism tests).
+func TestStoreDeterminismAcrossRuns(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		run := func() []int32 {
+			w, labels := twoClusters(50)
+			o := storeOpts(2, 9)
+			o.NumWorkers = workers
+			st, err := New(w, append([]int32(nil), labels...), Config{Options: o, DegradeFactor: 1.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			mut := &graph.Mutation{NewVertices: 5}
+			for i := 0; i < 60; i++ {
+				mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+					U: graph.VertexID(i % 50), V: graph.VertexID(50 + (i*3)%50), Weight: 2})
+			}
+			for i := 0; i < 5; i++ {
+				mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+					U: graph.VertexID(100 + i), V: graph.VertexID(i), Weight: 2})
+			}
+			if err := st.Submit(mut); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Resize(4); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+			snap := st.Snapshot()
+			if snap.K != 4 {
+				t.Fatalf("k = %d", snap.K)
+			}
+			return snap.Labels
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("workers=%d: label counts differ %d vs %d", workers, len(a), len(b))
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("workers=%d: label of vertex %d differs: %d vs %d", workers, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+// White-box: the bounded log applies backpressure. The loop is wedged by
+// an artificial in-flight restabilization so entries pile up.
+func TestStoreLogBackpressure(t *testing.T) {
+	s := &Store{
+		log:    make(chan logEntry, 2),
+		closed: make(chan struct{}),
+	}
+	m := &graph.Mutation{}
+	if err := s.TrySubmit(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TrySubmit(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TrySubmit(m); !errors.Is(err, ErrLogFull) {
+		t.Fatalf("TrySubmit on full log = %v, want ErrLogFull", err)
+	}
+	close(s.closed)
+	if err := s.TrySubmit(m); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit after close = %v, want ErrClosed", err)
+	}
+	if err := s.Submit(m); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after close = %v, want ErrClosed", err)
+	}
+	if err := s.Resize(5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Resize after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestStoreCloseIsIdempotentAndLookupsSurvive(t *testing.T) {
+	w, labels := twoClusters(20)
+	st, err := New(w, labels, Config{Options: storeOpts(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Lookup(3); !ok {
+		t.Fatal("lookup failed after Close")
+	}
+	if err := st.Submit(&graph.Mutation{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v", err)
+	}
+	if err := st.Quiesce(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Quiesce after Close = %v", err)
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	g := gen.WattsStrogatz(500, 6, 0.2, 3)
+	st, err := Bootstrap(g, Config{Options: storeOpts(4, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	snap := st.Snapshot()
+	if len(snap.Labels) != 500 || snap.K != 4 {
+		t.Fatalf("bootstrap snapshot %+v", snap)
+	}
+	if err := metrics.ValidateLabels(snap.Labels, 4); err != nil {
+		t.Fatal(err)
+	}
+}

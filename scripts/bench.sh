@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
 # bench.sh — perf gate for the Spinner reproduction.
 #
-# Runs go vet, the tier-1 test suite, and the BenchmarkSpinnerIteration
-# microbenchmark (-benchmem, -count=5), then appends a labeled JSON record
-# of the benchmark runs to the output file (default BENCH_pr1.json). Each
-# PR that touches the hot path records its before/after pair here so the
-# perf trajectory is auditable.
+# Runs go vet, the tier-1 test suite, the race-detector pass over the
+# concurrency-bearing packages (pregel + serve), and one microbenchmark
+# (-benchmem, -count=N), then appends a labeled JSON record of the
+# benchmark runs to the output file. Each PR that touches a hot path
+# records its before/after pair here so the perf trajectory is auditable.
 #
-# Usage: scripts/bench.sh [-l label] [-o outfile] [-c count]
+# Defaults reproduce the PR-1 gate (BenchmarkSpinnerIteration in the root
+# package into BENCH_pr1.json); the serving-layer gate is
+#
+#   scripts/bench.sh -b BenchmarkServeLookupUnderChurn -p ./internal/serve -o BENCH_pr2.json
+#
+# Usage: scripts/bench.sh [-l label] [-o outfile] [-c count] [-b benchmark] [-p package]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABEL="current"
 OUT="BENCH_pr1.json"
 COUNT=5
-while getopts "l:o:c:" opt; do
+BENCH="BenchmarkSpinnerIteration"
+PKG="."
+while getopts "l:o:c:b:p:" opt; do
   case "$opt" in
     l) LABEL="$OPTARG" ;;
     o) OUT="$OPTARG" ;;
     c) COUNT="$OPTARG" ;;
-    *) echo "usage: $0 [-l label] [-o outfile] [-c count]" >&2; exit 2 ;;
+    b) BENCH="$OPTARG" ;;
+    p) PKG="$OPTARG" ;;
+    *) echo "usage: $0 [-l label] [-o outfile] [-c count] [-b benchmark] [-p package]" >&2; exit 2 ;;
   esac
 done
 
@@ -28,19 +37,27 @@ go vet ./...
 echo "== tier-1: go build ./... && go test ./..."
 go build ./...
 go test ./...
-echo "== go test -bench=BenchmarkSpinnerIteration -benchmem -count=$COUNT"
+echo "== race: go test -race ./internal/pregel/ ./internal/serve/"
+go test -race ./internal/pregel/ ./internal/serve/
+echo "== go test -bench=$BENCH -benchmem -count=$COUNT $PKG"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
-go test -run='^$' -bench='^BenchmarkSpinnerIteration$' -benchmem -count="$COUNT" . | tee "$RAW"
+go test -run='^$' -bench="^${BENCH}\$" -benchmem -count="$COUNT" "$PKG" | tee "$RAW"
 
-RECORD=$(awk -v label="$LABEL" -v gover="$(go version | awk '{print $3}')" '
+RECORD=$(awk -v label="$LABEL" -v bench="$BENCH" -v gover="$(go version | awk '{print $3}')" '
   BEGIN { n = 0 }
-  /^BenchmarkSpinnerIteration/ {
-    ns[n] = $3; bytes[n] = $5; allocs[n] = $7; n++
+  $1 ~ "^" bench "(-[0-9]+)?$" {
+    ns[n] = 0; bytes[n] = 0; allocs[n] = 0
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns[n] = $(i-1)
+      else if ($i == "B/op") bytes[n] = $(i-1)
+      else if ($i == "allocs/op") allocs[n] = $(i-1)
+    }
+    n++
   }
   END {
     if (n == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
-    printf "{\"label\": \"%s\", \"go\": \"%s\", \"benchmark\": \"BenchmarkSpinnerIteration\", \"runs\": [", label, gover
+    printf "{\"label\": \"%s\", \"go\": \"%s\", \"benchmark\": \"%s\", \"runs\": [", label, gover, bench
     sns = 0; sb = 0; sa = 0
     for (i = 0; i < n; i++) {
       if (i) printf ", "
@@ -58,7 +75,7 @@ try:
     with open(path) as f:
         doc = json.load(f)
 except (FileNotFoundError, json.JSONDecodeError):
-    doc = {"benchmark": "BenchmarkSpinnerIteration", "records": []}
+    doc = {"benchmark": record["benchmark"], "records": []}
 doc["records"] = [r for r in doc.get("records", []) if r.get("label") != record["label"]]
 doc["records"].append(record)
 with open(path, "w") as f:
@@ -68,6 +85,6 @@ print(f"recorded label {record['label']!r} into {path}")
 EOF
 else
   # Fallback without python3: write a single-record document.
-  printf '{"benchmark": "BenchmarkSpinnerIteration", "records": [%s]}\n' "$RECORD" > "$OUT"
+  printf '{"benchmark": "%s", "records": [%s]}\n' "$BENCH" "$RECORD" > "$OUT"
   echo "recorded (fallback, single record) into $OUT"
 fi
