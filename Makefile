@@ -1,16 +1,29 @@
 # Development targets for the Spinner reproduction.
 #
-#   make test       — tier-1 gate: go build ./... && go test ./...
-#   make test-race  — race-detector pass over the concurrency-bearing
-#                     packages (pregel engine + serving layer)
-#   make vet        — go vet ./...
-#   make bench      — vet + tier-1 + race + BenchmarkSpinnerIteration
-#                     (-benchmem, -count=5), recorded into BENCH_pr1.json
-#   make bench-serve— same gate but BenchmarkServeLookupUnderChurn,
-#                     recorded into BENCH_pr2.json
-#   make check      — vet + test + test-race
+#   make test        — tier-1 gate: go build ./... && go test ./...
+#   make test-race   — race-detector pass over the concurrency-bearing
+#                      packages (pregel engine + sharded serving layer)
+#   make vet         — go vet ./...
+#   make lint        — gofmt -l (fails on unformatted files) + go vet
+#   make check       — vet + test + test-race (what CI enforces on push/PR)
+#   make bench       — vet + tier-1 + race + BenchmarkSpinnerIteration
+#                      (-benchmem, -count=5), recorded into BENCH_pr1.json
+#   make bench-serve — same gate but BenchmarkServeLookupUnderChurn,
+#                      recorded into BENCH_pr2.json
+#   make bench-mutate— same gate but BenchmarkServeMutateThroughput (the
+#                      sharded-store write plane: shards=1/2/4 fan-out plus
+#                      the incremental-vs-exact cut axis), into BENCH_pr3.json
+#   make bench-quick — CI benchmark smoke: every recorded benchmark runs
+#                      once (-benchtime=1x -count=1, no JSON write), so
+#                      compile/run breakage is caught without timing runs
+#
+# The serving layer (internal/serve) is a sharded store: N shards each own
+# a contiguous vertex range with incremental O(batch) cut tracking, exact-
+# reconciled (and boundary-rebalanced) every Config.ReconcileEvery batches.
+# CI (.github/workflows/ci.yml) runs lint + check + bench-quick on the Go
+# version pinned in go.mod.
 
-.PHONY: all check build vet test test-race bench bench-serve
+.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-quick
 
 all: check
 
@@ -20,6 +33,13 @@ build:
 	go build ./...
 
 vet:
+	go vet ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	go vet ./...
 
 test:
@@ -34,3 +54,10 @@ bench:
 
 bench-serve:
 	./scripts/bench.sh -l current -b BenchmarkServeLookupUnderChurn -p ./internal/serve -o BENCH_pr2.json
+
+bench-mutate:
+	./scripts/bench.sh -l current -b BenchmarkServeMutateThroughput -p ./internal/serve -o BENCH_pr3.json
+
+bench-quick:
+	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .
+	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput)' -p ./internal/serve

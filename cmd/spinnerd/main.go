@@ -8,6 +8,13 @@
 //
 //	spinnerd -k 32 -in graph.txt -addr :8080
 //	spinnerd -k 8 -synthetic 20000 -demo 2s
+//	spinnerd -k 32 -shards 8 -in graph.txt     # 8-way sharded mutation application
+//
+// The store is sharded (-shards, default GOMAXPROCS capped at 8): each
+// shard owns a contiguous vertex range and applies mutation sub-batches in
+// parallel with incremental cut tracking; /stats reports the composed
+// integer cut counters (cut_weight, total_weight, cut_by_partition) and
+// the shard count.
 //
 // Endpoints:
 //
@@ -16,7 +23,8 @@
 //	                           + u v [w]   add undirected edge {u,v} (weight w, default 2)
 //	                           - u v       remove undirected edge {u,v}
 //	                           v n         append n vertices
-//	POST /resize?k=K       → elastic change to K partitions
+//	POST /resize?k=K       → elastic change to K partitions (400 if K is
+//	                         malformed, < 1, or equal to the current k)
 //	GET  /stats            → snapshot + serving counters (JSON)
 //	GET  /healthz          → 200 once serving
 //
@@ -34,6 +42,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -59,11 +68,12 @@ func main() {
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		logDepth   = flag.Int("log-depth", 64, "bounded mutation log depth")
 		degrade    = flag.Float64("degrade", 1.10, "cut-ratio degradation factor triggering restabilization")
+		shards     = flag.Int("shards", 0, "store shards for parallel mutation application (0 = GOMAXPROCS, capped at 8)")
 		demo       = flag.Duration("demo", 0, "run synthetic churn for this duration and exit (no listener)")
 	)
 	flag.Parse()
 	if err := run(*k, *c, *seed, *workers, *maxIter, *undirected, *inPath, *synthetic,
-		*addr, *logDepth, *degrade, *demo, os.Stdout); err != nil {
+		*addr, *logDepth, *degrade, *shards, *demo, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spinnerd:", err)
 		os.Exit(1)
 	}
@@ -71,7 +81,10 @@ func main() {
 
 func run(k int, c float64, seed uint64, workers, maxIter int, undirected bool,
 	inPath string, synthetic int, addr string, logDepth int, degrade float64,
-	demo time.Duration, out io.Writer) error {
+	shards int, demo time.Duration, out io.Writer) error {
+	if shards == 0 {
+		shards = min(runtime.GOMAXPROCS(0), 8)
+	}
 	var g *graph.Graph
 	switch {
 	case synthetic > 0:
@@ -94,8 +107,9 @@ func run(k int, c float64, seed uint64, workers, maxIter int, undirected bool,
 	}
 
 	opts := core.Options{K: k, C: c, Seed: seed, NumWorkers: workers, MaxIterations: maxIter}
-	cfg := serve.Config{Options: opts, LogDepth: logDepth, DegradeFactor: degrade}
-	fmt.Fprintf(out, "spinnerd: partitioning %d vertices into %d partitions...\n", g.NumVertices(), k)
+	cfg := serve.Config{Options: opts, LogDepth: logDepth, DegradeFactor: degrade, Shards: shards}
+	fmt.Fprintf(out, "spinnerd: partitioning %d vertices into %d partitions (%d store shards)...\n",
+		g.NumVertices(), k, shards)
 	st, err := serve.Bootstrap(g, cfg)
 	if err != nil {
 		return err
@@ -207,6 +221,10 @@ func newMux(st *serve.Store) *http.ServeMux {
 			http.Error(w, "bad k", http.StatusBadRequest)
 			return
 		}
+		if k == st.K() {
+			http.Error(w, "k unchanged", http.StatusBadRequest)
+			return
+		}
 		if err := st.Resize(k); err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -217,13 +235,17 @@ func newMux(st *serve.Store) *http.ServeMux {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		snap := st.Snapshot()
 		payload := map[string]any{
-			"vertices": len(snap.Labels),
-			"k":        snap.K,
-			"version":  snap.Version,
-			"epoch":    snap.Epoch,
-			"applied":  snap.AppliedBatches,
-			"cut":      snap.CutRatio,
-			"counters": st.Counters().Snapshot(),
+			"vertices":         len(snap.Labels),
+			"k":                snap.K,
+			"version":          snap.Version,
+			"epoch":            snap.Epoch,
+			"applied":          snap.AppliedBatches,
+			"cut":              snap.CutRatio,
+			"cut_weight":       snap.CutWeight,
+			"total_weight":     snap.TotalWeight,
+			"cut_by_partition": snap.CutByPartition,
+			"shards":           snap.Shards,
+			"counters":         st.Counters().Snapshot(),
 		}
 		if err := st.Err(); err != nil {
 			payload["last_error"] = err.Error()

@@ -171,11 +171,78 @@ func TestParseMutation(t *testing.T) {
 	}
 }
 
+// Every HTTP error path must report the right status code and leave the
+// store untouched: same snapshot version, batch counts, and k.
+func TestHTTPErrorPathsLeaveStoreUntouched(t *testing.T) {
+	st := testStore(t, 4)
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Snapshot()
+	beforeCtr := st.Counters().Snapshot()
+
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		// /resize: malformed, out-of-range, and unchanged k.
+		{"POST", "/resize", "", http.StatusBadRequest},
+		{"POST", "/resize?k=0", "", http.StatusBadRequest},
+		{"POST", "/resize?k=-3", "", http.StatusBadRequest},
+		{"POST", "/resize?k=abc", "", http.StatusBadRequest},
+		{"POST", "/resize?k=4", "", http.StatusBadRequest}, // unchanged
+		// /mutate: malformed bodies.
+		{"POST", "/mutate", "bogus 1 2\n", http.StatusBadRequest},
+		{"POST", "/mutate", "+ 1\n", http.StatusBadRequest},
+		{"POST", "/mutate", "+ a b\n", http.StatusBadRequest},
+		{"POST", "/mutate", "+ 1 2 -5\n", http.StatusBadRequest},
+		{"POST", "/mutate", "- 1\n", http.StatusBadRequest},
+		{"POST", "/mutate", "v notanumber\n", http.StatusBadRequest},
+		{"POST", "/mutate", "{\"json\": \"not the protocol\"}", http.StatusBadRequest},
+		// /lookup: malformed and unknown vertices.
+		{"GET", "/lookup?v=junk", "", http.StatusBadRequest},
+		{"GET", "/lookup", "", http.StatusBadRequest},
+		{"GET", "/lookup?v=999999", "", http.StatusNotFound},
+		{"GET", "/lookup?v=-1", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Snapshot()
+	afterCtr := st.Counters().Snapshot()
+	if after.Version != before.Version || after.K != before.K ||
+		after.AppliedBatches != before.AppliedBatches || len(after.Labels) != len(before.Labels) {
+		t.Fatalf("error paths mutated the store: %+v -> %+v", before, after)
+	}
+	if afterCtr.BatchesApplied != beforeCtr.BatchesApplied ||
+		afterCtr.BatchesRejected != beforeCtr.BatchesRejected ||
+		afterCtr.ElasticResizes != beforeCtr.ElasticResizes {
+		t.Fatalf("error paths reached the maintenance plane: %v -> %v", beforeCtr, afterCtr)
+	}
+}
+
 // The -demo smoke mode must run end to end without a listener and report
 // its counters.
 func TestDemoMode(t *testing.T) {
 	var sb strings.Builder
-	err := run(4, 1.05, 7, 2, 30, false, "", 800, "", 16, 1.05, 300*time.Millisecond, &sb)
+	err := run(4, 1.05, 7, 2, 30, false, "", 800, "", 16, 1.05, 2, 300*time.Millisecond, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,26 +50,55 @@
 // partitions are maintained, not recomputed), exposed by cmd/spinnerd and
 // walked through in examples/serving:
 //
-//   - Lookups are lock-free: readers load an immutable snapshot through
-//     one atomic pointer; a published snapshot is never mutated.
+//   - The store is sharded (Config.Shards): each shard owns a contiguous
+//     vertex range — its adjacency rows, its label segment, and the
+//     integer cut counters of the edges whose lower endpoint it owns —
+//     behind an atomically-swapped vertex→shard route table.
+//   - Lookups are lock-free: readers load the route table and the target
+//     shard's immutable snapshot through two atomic pointers; a published
+//     snapshot is never mutated.
 //   - graph.Mutation batches flow through a bounded mutation log into a
-//     single maintenance goroutine that owns the authoritative graph,
-//     applies each batch atomically, seeds appended vertices on the
-//     least-loaded partitions, and swaps a fresh snapshot per batch.
-//   - The loop tracks the cut ratio; past a degradation threshold it
-//     clones the graph and restabilizes in a background goroutine with
-//     the incremental Spinner adaptation, streaming per-iteration labels
-//     back as mid-run snapshots (via the pregel AfterSuperstep hook) and
-//     merging the final labels when the run lands.
+//     coordinator goroutine. Add-only batches between existing vertices
+//     broadcast to the shards, which append their rows and fold O(batch)
+//     incremental cut deltas in parallel (labels are frozen between
+//     barriers), publishing O(k) snapshots that reuse the previous label
+//     copy. Batches that append vertices or remove edges apply atomically
+//     under a full shard barrier, seed new vertices least-loaded, and
+//     advance the counters by the batch's exact deltas
+//     (graph.Mutation.CutEdits) — never an O(E) recompute per swap.
+//   - Every Config.ReconcileEvery applied batches, a reconciliation pass
+//     recomputes the per-shard counters exactly (bit-identical to the
+//     incremental values — metrics.CutWeightsRange over each owned range)
+//     and rebalances shard boundaries by weighted degree
+//     (cluster.BalancedRanges).
+//   - The coordinator composes the cut ratio from the per-shard integer
+//     counters; past a degradation threshold it clones the merged graph
+//     under a barrier and restabilizes in a background goroutine with the
+//     incremental Spinner adaptation, streaming per-iteration labels back
+//     as mid-run snapshots (via the pregel AfterSuperstep hook) and
+//     merging the final labels — scattered back per shard — when the run
+//     lands.
 //   - Elastic k→k′ changes relabel the paper's n/(k+n) fraction
 //     immediately — lookups never observe an out-of-range label — and
 //     repair locality with the same background machinery; runs in flight
 //     across a resize are discarded, not merged.
 //
-// internal/metrics.ServeCounters instruments lookups, staleness and
-// migration volume; cluster.MigrationVolume/MigrationTime price the
+// internal/metrics.ServeCounters instruments lookups, staleness,
+// migration volume and the sharded write plane (sub-batches, reconciles,
+// drift, rebalances); cluster.MigrationVolume/MigrationTime price the
 // migration traffic under the cost model. `make bench-serve` records
 // BenchmarkServeLookupUnderChurn (sustained lookup latency under live
-// churn and restabilization) into BENCH_pr2.json, and `make test-race`
-// runs the concurrency-bearing packages under the race detector.
+// churn and restabilization) into BENCH_pr2.json; `make bench-mutate`
+// records BenchmarkServeMutateThroughput (the sharded write plane:
+// shards=1/2/4 fan-out plus incremental-vs-exact cut tracking) into
+// BENCH_pr3.json; `make test-race` runs the concurrency-bearing packages
+// under the race detector.
+//
+// # CI
+//
+// .github/workflows/ci.yml enforces the contract on every push and PR, on
+// the Go version pinned in go.mod with module/build caching: `make lint`
+// (gofmt -l + go vet), `make check` (build + vet + tier-1 tests + race
+// pass), and `make bench-quick` (every recorded benchmark compiled and
+// run once, -benchtime=1x, no timing or JSON).
 package repro

@@ -1,9 +1,10 @@
 // Live serving: maintain a partitioning under concurrent traffic, the
 // production scenario behind §III-D/E of the paper.
 //
-// A social graph is partitioned once, then served: reader goroutines
-// resolve vertex→partition lookups against lock-free snapshots while the
-// graph keeps growing through mutation batches. When growth degrades the
+// A social graph is partitioned once, then served from a 4-way sharded
+// store: reader goroutines resolve vertex→partition lookups against
+// lock-free per-shard snapshots while the graph keeps growing through
+// mutation batches applied shard-parallel with incremental cut tracking. When growth degrades the
 // cut ratio past the threshold, the store restabilizes in the background — lookups
 // never stop — and an elastic scale-out to k+2 partitions migrates only
 // the paper's n/(k+n) fraction of vertices instead of reshuffling
@@ -32,8 +33,8 @@ func main() {
 	opts.Seed = 21
 	opts.MaxIterations = 40
 
-	fmt.Printf("bootstrapping: %d vertices into %d partitions...\n", g.NumVertices(), k)
-	st, err := serve.Bootstrap(g, serve.Config{Options: opts, DegradeFactor: 1.05})
+	fmt.Printf("bootstrapping: %d vertices into %d partitions (4 store shards)...\n", g.NumVertices(), k)
+	st, err := serve.Bootstrap(g, serve.Config{Options: opts, DegradeFactor: 1.05, Shards: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBalancedRangesInvariants(t *testing.T) {
+	g := gen.WattsStrogatz(1000, 8, 0.2, 5)
+	w := graph.Convert(g)
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		bounds := BalancedRanges(w, shards)
+		if len(bounds) != shards+1 || bounds[0] != 0 || bounds[shards] != w.NumVertices() {
+			t.Fatalf("shards=%d: bounds %v", shards, bounds)
+		}
+		var maxLoad, total int64
+		for i := 0; i < shards; i++ {
+			if bounds[i+1] <= bounds[i] {
+				t.Fatalf("shards=%d: empty or inverted range %d: %v", shards, i, bounds)
+			}
+			var load int64
+			for v := bounds[i]; v < bounds[i+1]; v++ {
+				load += w.WeightedDegree(graph.VertexID(v)) + 1
+			}
+			total += load
+			if load > maxLoad {
+				maxLoad = load
+			}
+		}
+		// Balance: the heaviest range stays within 2x of the ideal share
+		// (WS degree is near-uniform, so this is generous).
+		if ideal := float64(total) / float64(shards); float64(maxLoad) > 2*ideal+1 {
+			t.Fatalf("shards=%d: max range load %d vs ideal %.0f", shards, maxLoad, ideal)
+		}
+	}
+}
+
+func TestBalancedRangesDegenerate(t *testing.T) {
+	w := graph.NewWeighted(3) // no edges: split by vertex count alone
+	bounds := BalancedRanges(w, 3)
+	for i, want := range []int{0, 1, 2, 3} {
+		if bounds[i] != want {
+			t.Fatalf("bounds = %v", bounds)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shards > n accepted")
+		}
+	}()
+	BalancedRanges(w, 4)
+}

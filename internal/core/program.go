@@ -323,7 +323,7 @@ func (p *program) computeScores(ctx *pregel.Context[vval, eval, msg], v *pregel.
 	ws.touched = touched[:0]
 }
 
-// labelScore evaluates score''(v, l) (Eq. 8) against either the worker's
+// labelScore evaluates score”(v, l) (Eq. 8) against either the worker's
 // asynchronous load view (loads non-nil) or the synchronized aggregator.
 // It is a method, not a closure, to keep the per-vertex hot path free of
 // capture allocations.

@@ -180,7 +180,7 @@ func verticesFromGraph(g *graph.Graph) []pregel.Vertex[vval, eval] {
 		vs[i].ID = graph.VertexID(i)
 		nbrs := g.Neighbors(graph.VertexID(i))
 		window := 2 * len(nbrs)
-		es := arena[off:off : off+window]
+		es := arena[off : off : off+window]
 		off += window
 		for _, to := range nbrs {
 			if to == graph.VertexID(i) {

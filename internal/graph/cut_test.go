@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// cutWeightsExact recomputes (cross, total, perPart) from scratch — the
+// reference the incremental deltas must stay bit-identical to.
+func cutWeightsExact(w *Weighted, labels []int32, k int) (cross, total int64, perPart []int64) {
+	perPart = make([]int64, k)
+	w.EdgesOnce(func(u, v VertexID, weight int32) {
+		total += int64(weight)
+		if labels[u] != labels[v] {
+			cross += int64(weight)
+			perPart[labels[u]] += int64(weight)
+			perPart[labels[v]] += int64(weight)
+		}
+	})
+	return cross, total, perPart
+}
+
+// Randomized sequences of add/remove/grow batches: folding each batch's
+// CutDelta into running counters must stay exactly equal to a fresh
+// recompute after every application.
+func TestCutDeltaMatchesExactRecompute(t *testing.T) {
+	const k = 4
+	src := rng.New(99)
+	// Weights derive from the pair so duplicate instances stay uniform —
+	// the contract real mutation sources keep (differing-weight duplicates
+	// are the ErrCutAmbiguous path, tested separately). A zero weight
+	// exercises Apply's default-to-1 normalization.
+	pairWeight := func(u, v VertexID) int32 {
+		if (u+v)%5 == 0 {
+			return 0
+		}
+		return int32(1 + (u+v)%3)
+	}
+	w := NewWeighted(30)
+	labels := make([]int32, 30)
+	for v := range labels {
+		labels[v] = int32(src.Intn(k))
+	}
+	for i := 0; i < 60; i++ {
+		u, v := VertexID(src.Intn(30)), VertexID(src.Intn(30))
+		if u != v {
+			weight := pairWeight(u, v)
+			if weight == 0 {
+				weight = 1
+			}
+			w.AddEdge(u, v, weight)
+		}
+	}
+	cross, total, perPart := cutWeightsExact(w, labels, k)
+
+	for step := 0; step < 200; step++ {
+		m := &Mutation{}
+		// Adds between existing (and occasionally appended) vertices.
+		if src.Intn(4) == 0 {
+			m.NewVertices = 1 + src.Intn(2)
+		}
+		n := VertexID(w.NumVertices() + m.NewVertices)
+		for i := src.Intn(5); i > 0; i-- {
+			u, v := VertexID(src.Intn(int(n))), VertexID(src.Intn(int(n)))
+			if u != v {
+				m.NewEdges = append(m.NewEdges, WeightedEdgeRecord{U: u, V: v, Weight: pairWeight(u, v)})
+			}
+		}
+		// Removals of randomly chosen existing edges.
+		for i := src.Intn(3); i > 0 && w.NumEdges() > 0; i-- {
+			u := VertexID(src.Intn(w.NumVertices()))
+			if w.Degree(u) == 0 {
+				continue
+			}
+			a := w.Neighbors(u)[src.Intn(w.Degree(u))]
+			m.RemovedEdges = append(m.RemovedEdges, Edge{From: u, To: a.To})
+		}
+
+		// Post-mutation labels: appended vertices get arbitrary labels
+		// before the delta is computed, mirroring serve's seed-then-delta
+		// ordering.
+		grown := labels
+		if m.NewVertices > 0 {
+			grown = make([]int32, int(n))
+			copy(grown, labels)
+			for v := w.NumVertices(); v < int(n); v++ {
+				grown[v] = int32(src.Intn(k))
+			}
+		}
+		edits, derr := m.CutEdits(w)
+		if _, err := m.Apply(w); err != nil {
+			// Random removals can collide (same edge twice when it exists
+			// once); the batch is rejected atomically, so skip the step —
+			// but the delta path must not have claimed success with a
+			// wrong prediction either way.
+			continue
+		}
+		labels = grown
+		if errors.Is(derr, ErrCutAmbiguous) {
+			// Valid batch, unpredictable removal weights: callers recompute.
+			cross, total, perPart = cutWeightsExact(w, labels, k)
+			continue
+		}
+		if derr != nil {
+			t.Fatalf("step %d: CutEdits failed on a batch Apply accepted: %v", step, derr)
+		}
+		// Fold the edits the way the serving layer does.
+		for _, e := range edits {
+			weight := int64(e.Weight)
+			if !e.Add {
+				weight = -weight
+			}
+			total += weight
+			if lu, lv := grown[e.U], grown[e.V]; lu != lv {
+				cross += weight
+				perPart[lu] += weight
+				perPart[lv] += weight
+			}
+		}
+		ec, et, ep := cutWeightsExact(w, labels, k)
+		if cross != ec || total != et {
+			t.Fatalf("step %d: incremental (cross=%d,total=%d) != exact (cross=%d,total=%d)",
+				step, cross, total, ec, et)
+		}
+		for l := range ep {
+			if perPart[l] != ep[l] {
+				t.Fatalf("step %d: perPart[%d] incremental %d != exact %d", step, l, perPart[l], ep[l])
+			}
+		}
+	}
+}
+
+func TestCutEditsErrors(t *testing.T) {
+	w := NewWeighted(4)
+	w.AddEdge(0, 1, 2)
+	for _, m := range []*Mutation{
+		{NewEdges: []WeightedEdgeRecord{{U: 0, V: 9}}},
+		{NewEdges: []WeightedEdgeRecord{{U: 2, V: 2}}},
+		{RemovedEdges: []Edge{{From: 2, To: 3}}},
+		{RemovedEdges: []Edge{{From: 0, To: 1}, {From: 1, To: 0}}},
+		{NewVertices: -1},
+	} {
+		if _, err := m.CutEdits(w); err == nil {
+			t.Fatalf("CutEdits(%+v) accepted an invalid batch", m)
+		}
+	}
+	// Duplicate instances with differing weights: removing two is ambiguous.
+	w.AddEdge(0, 1, 5)
+	w.AddEdge(0, 1, 7)
+	amb := &Mutation{RemovedEdges: []Edge{{From: 0, To: 1}, {From: 0, To: 1}}}
+	if _, err := amb.CutEdits(w); !errors.Is(err, ErrCutAmbiguous) {
+		t.Fatalf("ambiguous duplicate removal: err = %v, want ErrCutAmbiguous", err)
+	}
+	// Uniform duplicate weights stay predictable.
+	w2 := NewWeighted(2)
+	w2.AddEdge(0, 1, 3)
+	w2.AddEdge(0, 1, 3)
+	uni := &Mutation{RemovedEdges: []Edge{{From: 0, To: 1}, {From: 1, To: 0}}}
+	edits, err := uni.CutEdits(w2)
+	if err != nil || len(edits) != 2 || edits[0].Weight != 3 || edits[1].Weight != 3 {
+		t.Fatalf("uniform duplicate removal: edits=%v err=%v", edits, err)
+	}
+}
+
+func TestInsertArcAndAdjustTotals(t *testing.T) {
+	w := NewWeighted(3)
+	w.InsertArc(0, 1, 4)
+	w.InsertArc(1, 0, 4)
+	w.AdjustTotals(1, 4)
+	if w.NumEdges() != 1 || w.TotalWeight() != 4 {
+		t.Fatalf("totals after arc insert: edges=%d weight=%d", w.NumEdges(), w.TotalWeight())
+	}
+	if w.WeightedDegree(0) != 4 || w.WeightedDegree(1) != 4 {
+		t.Fatalf("degrees %d,%d", w.WeightedDegree(0), w.WeightedDegree(1))
+	}
+	if !w.RemoveEdge(0, 1) {
+		t.Fatal("arc-inserted edge not removable")
+	}
+	if w.NumEdges() != 0 || w.TotalWeight() != 0 {
+		t.Fatalf("totals after removal: edges=%d weight=%d", w.NumEdges(), w.TotalWeight())
+	}
+}

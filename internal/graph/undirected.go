@@ -94,6 +94,26 @@ func (w *Weighted) removeArc(u, v VertexID) (int32, bool) {
 	return 0, false
 }
 
+// InsertArc appends the single directed arc u→v to u's row without touching
+// the symmetric row or the edge/weight totals. It exists for sharded
+// writers (internal/serve): two shards owning u's and v's rows insert the
+// two arcs of an undirected edge independently — appends to distinct rows
+// never race — and the owner reconciles the totals via AdjustTotals. Any
+// other use breaks the symmetry invariant the rest of the package relies
+// on; prefer AddEdge.
+func (w *Weighted) InsertArc(u, v VertexID, weight int32) {
+	w.adj[u] = append(w.adj[u], WeightedArc{To: v, Weight: weight})
+}
+
+// AdjustTotals folds dEdges undirected edges of total weight dWeight into
+// the graph's edge and weight totals — the bookkeeping counterpart of
+// InsertArc, applied once per edge (not per arc) by the coordinating
+// owner after concurrent shard writers have quiesced.
+func (w *Weighted) AdjustTotals(dEdges, dWeight int64) {
+	w.numEdges += dEdges
+	w.totalWeight += 2 * dWeight
+}
+
 // AddVertices grows the graph by n isolated vertices and returns the ID of
 // the first new vertex.
 func (w *Weighted) AddVertices(n int) VertexID {

@@ -59,6 +59,40 @@ func CutEdges(w *graph.Weighted, labels []int32) int64 {
 	return cut
 }
 
+// CutWeights returns the integer cut counters the serving layer tracks
+// incrementally: the total edge weight, the cross-partition (cut) edge
+// weight, and the per-partition external weight (each cut edge contributes
+// its weight to both endpoints' partitions). 1−Phi equals
+// float64(cross)/float64(total); keeping the counters in integers makes
+// incremental deltas bit-exactly reconcilable against this recompute.
+func CutWeights(w *graph.Weighted, labels []int32, k int) (cross, total int64, perPart []int64) {
+	return CutWeightsRange(w, labels, k, 0, w.NumVertices())
+}
+
+// CutWeightsRange is CutWeights restricted to the edges owned by the
+// contiguous vertex range [lo, hi): an edge {u,v} with u < v is owned by
+// the range containing u. Summing the results over a partition of the
+// vertex space into disjoint ranges reproduces CutWeights exactly — the
+// sharded store reconciles each shard's incremental counters this way.
+func CutWeightsRange(w *graph.Weighted, labels []int32, k, lo, hi int) (cross, total int64, perPart []int64) {
+	perPart = make([]int64, k)
+	for u := lo; u < hi; u++ {
+		lu := labels[u]
+		for _, a := range w.Neighbors(graph.VertexID(u)) {
+			if a.To <= graph.VertexID(u) {
+				continue
+			}
+			total += int64(a.Weight)
+			if lv := labels[a.To]; lu != lv {
+				cross += int64(a.Weight)
+				perPart[lu] += int64(a.Weight)
+				perPart[lv] += int64(a.Weight)
+			}
+		}
+	}
+	return cross, total, perPart
+}
+
 // Rho returns the maximum normalized load: max_l b(l) / (Σ_l b(l) / k).
 // A perfectly balanced partitioning has ρ = 1. Returns 1 when the graph
 // carries no load.

@@ -226,3 +226,63 @@ func TestGroundTruthPhiHigh(t *testing.T) {
 		t.Fatalf("ground truth phi=%v, want >= 0.75", phi)
 	}
 }
+
+// CutWeights must agree with Phi exactly, and range-restricted sums over a
+// disjoint partition of the vertex space must reproduce the global counters
+// bit-for-bit — the invariant the sharded store's reconciliation relies on.
+func TestCutWeightsMatchPhiAndCompose(t *testing.T) {
+	g, _ := gen.PlantedPartition(500, 3, 10, 3, 11)
+	w := graph.Convert(g)
+	labels := make([]int32, w.NumVertices())
+	for v := range labels {
+		labels[v] = int32(v % 3)
+	}
+	cross, total, perPart := CutWeights(w, labels, 3)
+	if total != w.TotalWeight() {
+		t.Fatalf("total %d != TotalWeight %d", total, w.TotalWeight())
+	}
+	// Integer identity with Phi's numerator: cross = total − local. (The
+	// float 1−Phi differs from cross/total only by rounding of the
+	// subtraction, which is why the serving layer keeps integers.)
+	var local int64
+	w.EdgesOnce(func(u, v graph.VertexID, weight int32) {
+		if labels[u] == labels[v] {
+			local += int64(weight)
+		}
+	})
+	if cross != total-local {
+		t.Fatalf("cross %d != total-local %d", cross, total-local)
+	}
+	for _, l := range perPart {
+		if l < 0 || l > 2*cross {
+			t.Fatalf("perPart out of range: %v (cross %d)", perPart, cross)
+		}
+	}
+	var sumPP int64
+	for _, l := range perPart {
+		sumPP += l
+	}
+	if sumPP != 2*cross {
+		t.Fatalf("sum perPart %d != 2*cross %d", sumPP, cross)
+	}
+
+	bounds := []int{0, 97, 213, w.NumVertices()}
+	var rc, rt int64
+	rpp := make([]int64, 3)
+	for i := 0; i+1 < len(bounds); i++ {
+		c, tt, pp := CutWeightsRange(w, labels, 3, bounds[i], bounds[i+1])
+		rc += c
+		rt += tt
+		for l := range pp {
+			rpp[l] += pp[l]
+		}
+	}
+	if rc != cross || rt != total {
+		t.Fatalf("range sums (%d,%d) != global (%d,%d)", rc, rt, cross, total)
+	}
+	for l := range rpp {
+		if rpp[l] != perPart[l] {
+			t.Fatalf("range perPart[%d]=%d != %d", l, rpp[l], perPart[l])
+		}
+	}
+}

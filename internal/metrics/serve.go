@@ -61,6 +61,21 @@ type ServeCounters struct {
 	// n/(k+n) fraction, Eq. 11) before LPA repair.
 	ElasticResizes   atomic.Int64
 	ElasticSeedMoved atomic.Int64
+
+	// Sharded-store path.
+
+	// ShardBatches counts per-shard sub-batch applications on the sharded
+	// fast path (one submitted batch fans out to ≤ shards sub-batches).
+	ShardBatches atomic.Int64
+	// CutReconciles counts periodic exact cut recomputations checked
+	// against the incremental per-shard counters; CutDrift counts shards
+	// whose incremental counters disagreed with the exact pass and were
+	// repaired (expected to stay 0 — integer deltas are exact).
+	CutReconciles atomic.Int64
+	CutDrift      atomic.Int64
+	// ShardRebalances counts shard-boundary recomputations that actually
+	// moved a boundary (piggybacked on the reconciliation pass).
+	ShardRebalances atomic.Int64
 }
 
 // ServeSnapshot is a plain-value copy of ServeCounters.
@@ -72,6 +87,8 @@ type ServeSnapshot struct {
 	RestabDiscarded, MidRunSnapshots        int64
 	MigratedVertices, MigratedWeight        int64
 	ElasticResizes, ElasticSeedMoved        int64
+	ShardBatches, CutReconciles             int64
+	CutDrift, ShardRebalances               int64
 }
 
 // Snapshot copies every counter.
@@ -93,6 +110,10 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		MigratedWeight:   c.MigratedWeight.Load(),
 		ElasticResizes:   c.ElasticResizes.Load(),
 		ElasticSeedMoved: c.ElasticSeedMoved.Load(),
+		ShardBatches:     c.ShardBatches.Load(),
+		CutReconciles:    c.CutReconciles.Load(),
+		CutDrift:         c.CutDrift.Load(),
+		ShardRebalances:  c.ShardRebalances.Load(),
 	}
 }
 
@@ -108,10 +129,11 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d)",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d)",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
-		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected,
+		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
 		s.SnapshotSwaps, s.Restabilizations, s.MidRunSnapshots, s.RestabDiscarded,
-		s.MigratedVertices, s.MigratedWeight, s.ElasticResizes, s.ElasticSeedMoved)
+		s.MigratedVertices, s.MigratedWeight, s.ElasticResizes, s.ElasticSeedMoved,
+		s.CutReconciles, s.CutDrift, s.ShardRebalances)
 }

@@ -15,10 +15,18 @@ func TestServeCountersSnapshot(t *testing.T) {
 	c.MigratedVertices.Add(7)
 	c.ElasticResizes.Add(2)
 
+	c.ShardBatches.Add(6)
+	c.CutReconciles.Add(4)
+	c.CutDrift.Add(1)
+	c.ShardRebalances.Add(2)
+
 	s := c.Snapshot()
 	if s.Lookups != 10 || s.BatchesApplied != 3 || s.BatchesRejected != 1 ||
 		s.MigratedVertices != 7 || s.ElasticResizes != 2 {
 		t.Fatalf("snapshot lost counts: %+v", s)
+	}
+	if s.ShardBatches != 6 || s.CutReconciles != 4 || s.CutDrift != 1 || s.ShardRebalances != 2 {
+		t.Fatalf("snapshot lost shard counts: %+v", s)
 	}
 	if got := s.MeanStaleness(); got != 0.5 {
 		t.Fatalf("MeanStaleness = %v, want 0.5", got)
@@ -26,7 +34,8 @@ func TestServeCountersSnapshot(t *testing.T) {
 	if (ServeSnapshot{}).MeanStaleness() != 0 {
 		t.Fatal("MeanStaleness must be 0 with no lookups")
 	}
-	if str := s.String(); !strings.Contains(str, "lookups=10") || !strings.Contains(str, "batches=3/4") {
+	if str := s.String(); !strings.Contains(str, "lookups=10") || !strings.Contains(str, "batches=3/4") ||
+		!strings.Contains(str, "reconciles=4") {
 		t.Fatalf("String() missing headline figures: %q", str)
 	}
 }

@@ -320,7 +320,7 @@ func (e *Engine[V, E, M]) runSuperstep() {
 				var off int32
 				for _, vid := range pend {
 					c := counts[vid]
-					e.inbox[vid] = arena[off:off : off+c]
+					e.inbox[vid] = arena[off : off : off+c]
 					off += c
 					counts[vid] = 0
 				}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/rng"
 )
 
 // BenchmarkServeLookupUnderChurn measures sustained lookup throughput
@@ -93,5 +94,91 @@ func BenchmarkServeLookupUnderChurn(b *testing.B) {
 	}
 	if miss.Load() != 0 {
 		b.Fatalf("%d lookup misses for always-present vertices", miss.Load())
+	}
+}
+
+// BenchmarkServeMutateThroughput measures sustained mutation-application
+// throughput (ns per 256-edge batch) along the two axes this PR changes
+// (recorded in BENCH_pr3.json):
+//
+//   - shards=1/2/4: each batch broadcasts to the shards, which append
+//     their rows and fold O(batch) cut deltas in parallel. The speedup is
+//     bounded by the host's core count — on a single-core container the
+//     sub-benchmarks show fan-out overhead parity, not speedup.
+//   - exactcut: ReconcileEvery=1 forces a full exact cut recompute per
+//     applied batch — the seed's per-swap O(E) cost model — against the
+//     default incremental O(batch) deltas. This axis is hardware-
+//     independent and dominates at scale, since E keeps growing while
+//     batches do not.
+//
+// Restabilization is disabled so the numbers isolate the write plane.
+func BenchmarkServeMutateThroughput(b *testing.B) {
+	const n, batchEdges = 30000, 256
+	g := gen.WattsStrogatz(n, 10, 0.2, 41)
+	w := graph.Convert(g)
+	opts := core.DefaultOptions(8)
+	opts.Seed = 41
+	opts.MaxIterations = 30
+	p, err := core.NewPartitioner(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate add-only batches (the fast path); reusing them is safe:
+	// the store reads NewEdges but never retains or mutates the batch.
+	src := rng.New(4242)
+	batches := make([]*graph.Mutation, 64)
+	for i := range batches {
+		m := &graph.Mutation{NewEdges: make([]graph.WeightedEdgeRecord, 0, batchEdges)}
+		for len(m.NewEdges) < batchEdges {
+			u, v := graph.VertexID(src.Intn(n)), graph.VertexID(src.Intn(n))
+			if u != v {
+				m.NewEdges = append(m.NewEdges, graph.WeightedEdgeRecord{U: u, V: v, Weight: 2})
+			}
+		}
+		batches[i] = m
+	}
+
+	cases := []struct {
+		name           string
+		shards         int
+		reconcileEvery int
+	}{
+		{"shards=1", 1, -1},
+		{"shards=2", 2, -1},
+		{"shards=4", 4, -1},
+		{"exactcut", 1, 1}, // seed cost model: exact O(E) pass per batch
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			st, err := New(w.Clone(), append([]int32(nil), res.Labels...), Config{
+				Options:        opts,
+				Shards:         tc.shards,
+				DegradeFactor:  1e9, // isolate the write plane
+				MidRunOff:      true,
+				ReconcileEvery: tc.reconcileEvery,
+				LogDepth:       64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Submit(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Quiesce(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batchEdges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

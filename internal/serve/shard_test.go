@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// randomBatch builds a mutation against the shadow graph: mostly edge
+// additions (the fast path), sometimes removals of existing edges or
+// vertex growth (the barrier path). Weights derive from the endpoint pair
+// so duplicate instances stay uniform, matching real mutation sources.
+func randomBatch(shadow *graph.Weighted, seed uint64, step int) *graph.Mutation {
+	src := newTestRng(seed, step)
+	m := &graph.Mutation{}
+	n := shadow.NumVertices()
+	if step%7 == 3 {
+		m.NewVertices = 1 + src.Intn(3)
+	}
+	total := n + m.NewVertices
+	for i := 0; i < 4+src.Intn(12); i++ {
+		u := graph.VertexID(src.Intn(total))
+		v := graph.VertexID(src.Intn(total))
+		if u != v {
+			m.NewEdges = append(m.NewEdges, graph.WeightedEdgeRecord{
+				U: u, V: v, Weight: int32(1 + (u+v)%3)})
+		}
+	}
+	if step%5 == 2 {
+		seen := map[graph.Edge]bool{}
+		for i := 0; i < 1+src.Intn(3); i++ {
+			u := graph.VertexID(src.Intn(n))
+			if shadow.Degree(u) == 0 {
+				continue
+			}
+			a := shadow.Neighbors(u)[src.Intn(shadow.Degree(u))]
+			key := graph.Edge{From: min(u, a.To), To: max(u, a.To)}
+			if seen[key] { // removing one pair twice needs two instances
+				continue
+			}
+			seen[key] = true
+			m.RemovedEdges = append(m.RemovedEdges, graph.Edge{From: u, To: a.To})
+		}
+	}
+	return m
+}
+
+func copyMutation(m *graph.Mutation) *graph.Mutation {
+	return &graph.Mutation{
+		NewVertices:  m.NewVertices,
+		NewEdges:     append([]graph.WeightedEdgeRecord(nil), m.NewEdges...),
+		RemovedEdges: append([]graph.Edge(nil), m.RemovedEdges...),
+	}
+}
+
+type testRng struct{ state uint64 }
+
+func newTestRng(seed uint64, step int) *testRng {
+	return &testRng{state: seed*0x9e3779b97f4a7c15 + uint64(step)*0xbf58476d1ce4e5b9 + 1}
+}
+
+func (r *testRng) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+
+func (r *testRng) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Acceptance criterion: the incremental per-batch cut deltas must stay
+// bit-identical to the exact O(E) recompute across randomized mutation
+// sequences — adds (fast path), removals and growth (barrier path),
+// resizes, at 1 and at 3 shards — with reconciliation disabled so nothing
+// silently repairs drift.
+func TestIncrementalCutMatchesExact(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			w, labels := twoClusters(60)
+			shadow := w.Clone()
+			st, err := New(w, append([]int32(nil), labels...), Config{
+				Options:        storeOpts(2, 11),
+				Shards:         shards,
+				DegradeFactor:  1e9, // isolate the delta path from restab merges
+				ReconcileEvery: -1,
+				MidRunOff:      true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+
+			k := 2
+			for step := 0; step < 80; step++ {
+				if step == 40 {
+					k = 5
+					if err := st.Resize(k); err != nil {
+						t.Fatal(err)
+					}
+					// The forced repair run merges during this quiesce; its
+					// relabeling republishes exact counters, and subsequent
+					// deltas must keep matching.
+					if err := st.Quiesce(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				m := randomBatch(shadow, 77, step)
+				if _, err := copyMutation(m).Apply(shadow); err != nil {
+					t.Fatalf("step %d: shadow apply: %v", step, err)
+				}
+				if err := st.Submit(m); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Quiesce(); err != nil {
+					t.Fatal(err)
+				}
+				snap := st.Snapshot()
+				if len(snap.Labels) != shadow.NumVertices() {
+					t.Fatalf("step %d: %d labels for %d shadow vertices", step, len(snap.Labels), shadow.NumVertices())
+				}
+				cross, total, perPart := metrics.CutWeights(shadow, snap.Labels, snap.K)
+				if snap.CutWeight != cross || snap.TotalWeight != total {
+					t.Fatalf("step %d: incremental (cut=%d,total=%d) != exact (cut=%d,total=%d)",
+						step, snap.CutWeight, snap.TotalWeight, cross, total)
+				}
+				for l := range perPart {
+					if snap.CutByPartition[l] != perPart[l] {
+						t.Fatalf("step %d: CutByPartition[%d] = %d, exact %d",
+							step, l, snap.CutByPartition[l], perPart[l])
+					}
+				}
+				if snap.CutRatio != cutRatio(cross, total) {
+					t.Fatalf("step %d: ratio %v != %v", step, snap.CutRatio, cutRatio(cross, total))
+				}
+			}
+			if st.Counters().CutReconciles.Load() != 0 {
+				t.Fatal("reconciliation ran while disabled")
+			}
+		})
+	}
+}
+
+// The periodic reconciliation pass must find zero drift (the deltas are
+// exact), and its boundary rebalance must keep lookups and counters
+// correct as growth skews the vertex space toward the last shard.
+func TestReconcileRebalance(t *testing.T) {
+	w, labels := twoClusters(60)
+	shadow := w.Clone()
+	st, err := New(w, append([]int32(nil), labels...), Config{
+		Options:        storeOpts(2, 13),
+		Shards:         3,
+		DegradeFactor:  1e9,
+		ReconcileEvery: 4,
+		MidRunOff:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	for step := 0; step < 40; step++ {
+		m := &graph.Mutation{NewVertices: 3}
+		n := shadow.NumVertices()
+		for i := 0; i < 3; i++ {
+			u, v := graph.VertexID(n+i), graph.VertexID((n+i*17)%n)
+			m.NewEdges = append(m.NewEdges, graph.WeightedEdgeRecord{U: u, V: v, Weight: 2})
+		}
+		if _, err := copyMutation(m).Apply(shadow); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Counters().Snapshot()
+	if c.CutReconciles == 0 {
+		t.Fatal("no reconciliation ran")
+	}
+	if c.CutDrift != 0 {
+		t.Fatalf("reconciliation repaired drift %d times; deltas must be exact", c.CutDrift)
+	}
+	if c.ShardRebalances == 0 {
+		t.Fatal("growth skewed the ranges but boundaries never rebalanced")
+	}
+	snap := st.Snapshot()
+	cross, total, _ := metrics.CutWeights(shadow, snap.Labels, snap.K)
+	if snap.CutWeight != cross || snap.TotalWeight != total {
+		t.Fatalf("post-rebalance counters (cut=%d,total=%d) != exact (cut=%d,total=%d)",
+			snap.CutWeight, snap.TotalWeight, cross, total)
+	}
+	for v := 0; v < shadow.NumVertices(); v++ {
+		if l, ok := st.Lookup(graph.VertexID(v)); !ok || l != snap.Labels[v] {
+			t.Fatalf("post-rebalance lookup(%d) = %d,%v want %d,true", v, l, ok, snap.Labels[v])
+		}
+	}
+}
+
+// A quiesced entry sequence must produce bit-identical labels regardless
+// of the shard count: sharding parallelizes mutation application but every
+// relabeling event runs under a full barrier on the merged graph.
+func TestShardCountDoesNotChangeLabels(t *testing.T) {
+	run := func(shards int) []int32 {
+		w, labels := twoClusters(50)
+		st, err := New(w, append([]int32(nil), labels...), Config{
+			Options:       storeOpts(2, 9),
+			Shards:        shards,
+			DegradeFactor: 1.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		for step := 0; step < 6; step++ {
+			mut := &graph.Mutation{}
+			if step == 2 {
+				mut.NewVertices = 5
+				for i := 0; i < 5; i++ {
+					mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+						U: graph.VertexID(100 + i), V: graph.VertexID(i), Weight: 2})
+				}
+			}
+			for i := 0; i < 20; i++ {
+				mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+					U: graph.VertexID((i + 13*step) % 50), V: graph.VertexID(50 + (i*3+step)%50), Weight: 2})
+			}
+			if err := st.Submit(mut); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Resize(4); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+		return st.Snapshot().Labels
+	}
+	want := run(1)
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d labels, want %d", shards, len(got), len(want))
+		}
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("shards=%d: label of vertex %d = %d, 1-shard run got %d", shards, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// Concurrent lookups against a sharded store stay valid and race-clean
+// while fast-path batches fan out and a restabilization merges underneath.
+// Run with -race.
+func TestShardedConcurrentLookups(t *testing.T) {
+	g := gen.WattsStrogatz(3000, 8, 0.2, 29)
+	w := graph.Convert(g)
+	p, err := core.NewPartitioner(storeOpts(4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := w.Clone()
+	st, err := New(w, res.Labels, Config{
+		Options: storeOpts(4, 7), Shards: 4,
+		DegradeFactor: 1.01, DegradeSlack: 0.0001, ReconcileEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var invalid atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := graph.VertexID(r * 31)
+			for !stop.Load() {
+				snap := st.Snapshot()
+				l, ok := st.Lookup(v % graph.VertexID(len(snap.Labels)))
+				if ok && (l < 0 || int(l) >= snap.K) {
+					invalid.Add(1)
+				}
+				v += 7
+			}
+		}(r)
+	}
+
+	for batch := 0; batch < 300; batch++ {
+		mut := gen.GrowthBatch(shadow, 0.01, uint64(500+batch))
+		if _, err := mut.Apply(shadow); err != nil {
+			t.Fatal(err)
+		}
+		cp := &graph.Mutation{NewEdges: append([]graph.WeightedEdgeRecord(nil), mut.NewEdges...)}
+		if err := st.Submit(cp); err != nil {
+			t.Fatal(err)
+		}
+		if st.Counters().Restabilizations.Load() >= 2 {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if invalid.Load() != 0 {
+		t.Fatalf("%d invalid lookups observed", invalid.Load())
+	}
+	c := st.Counters().Snapshot()
+	if c.ShardBatches < c.BatchesApplied {
+		t.Fatalf("fast path never fanned out: sub=%d batches=%d", c.ShardBatches, c.BatchesApplied)
+	}
+	if c.CutDrift != 0 {
+		t.Fatalf("cut drift under concurrency: %d", c.CutDrift)
+	}
+	snap := st.Snapshot()
+	if err := metrics.ValidateLabels(snap.Labels, snap.K); err != nil {
+		t.Fatal(err)
+	}
+	cross, total, _ := metrics.CutWeights(shadow, snap.Labels, snap.K)
+	if snap.CutWeight != cross || snap.TotalWeight != total {
+		t.Fatalf("counters after churn (cut=%d,total=%d) != exact (cut=%d,total=%d)",
+			snap.CutWeight, snap.TotalWeight, cross, total)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Config validation for the new sharding knobs.
+func TestShardConfigValidation(t *testing.T) {
+	w, labels := twoClusters(10)
+	if _, err := New(w.Clone(), append([]int32(nil), labels...), Config{Options: storeOpts(2, 1), Shards: -1}); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	if _, err := New(w.Clone(), append([]int32(nil), labels...), Config{Options: storeOpts(2, 1), ShardLogDepth: -2}); err == nil {
+		t.Fatal("negative ShardLogDepth accepted")
+	}
+	// More shards than vertices clamps rather than fails.
+	st, err := New(w.Clone(), append([]int32(nil), labels...), Config{Options: storeOpts(2, 1), Shards: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Snapshot().Shards; got != 20 {
+		t.Fatalf("clamped shard count %d, want 20", got)
+	}
+}

@@ -7,41 +7,56 @@
 //
 // # Architecture
 //
-// A Store is built from three decoupled planes:
+// A Store is split into N shards, each owning a contiguous vertex range
+// (its adjacency rows, its segment of the labeling, and the incremental
+// cut counters of the edges whose lower endpoint falls in the range),
+// coordinated by one control goroutine. Three planes:
 //
-//   - Read plane: lookups load an immutable Snapshot through one atomic
-//     pointer. No locks, no contention with writers; a swapped snapshot is
-//     never mutated again, so readers hold it as long as they like.
+//   - Read plane: a lookup loads the immutable vertex→shard route table
+//     through one atomic pointer and the target shard's immutable snapshot
+//     through another. No locks, no contention with writers; a published
+//     snapshot is never mutated, so readers hold it as long as they like.
 //   - Write plane: graph.Mutation batches enter a bounded mutation log (a
 //     buffered channel). Submit blocks for backpressure, TrySubmit fails
-//     fast with ErrLogFull. A single maintenance goroutine owns the
-//     authoritative graph; it drains the log, applies each batch
-//     atomically, labels appended vertices on the least-loaded partitions
-//     (§III-D), and swaps a fresh snapshot — so a batch becomes visible to
-//     lookups within one loop turn, without waiting for any LPA run.
-//   - Maintenance plane: the loop tracks the cut ratio (1−φ) after every
-//     batch. When it degrades past the configured factor of the last
-//     stabilized baseline, a background restabilization goroutine runs the
-//     incremental Spinner adaptation (§III-D) on a clone of the graph
-//     while the loop keeps serving and ingesting. Completed runs merge
-//     back label-by-label; vertices appended mid-run keep their seeded
-//     labels until the next run. Long runs publish per-iteration mid-run
-//     snapshots (monotonically improving labelings) through the same
-//     atomic swap. Elastic partition-count changes (§III-E) relabel only
-//     the paper's n/(k+n) fraction immediately — lookups never see an
-//     invalid label — and then repair locality with the same background
-//     machinery; a restabilization in flight across a resize is discarded
-//     rather than merged, since its labels live in the old k-space.
+//     fast with ErrLogFull. The coordinator drains the log in order and
+//     routes each batch. Edge-addition batches between existing vertices —
+//     the high-rate churn case — broadcast to every shard: each picks out
+//     the arcs whose rows it owns (two compares per edge), appends them,
+//     and folds an O(batch) delta into its cut counters (labels are
+//     frozen between barriers, so no synchronization is needed), then
+//     publishes an O(k) snapshot that reuses the previous label copy,
+//     coalescing publications under burst. Batches that append vertices or
+//     remove edges take the barrier path: the coordinator parks every
+//     shard, applies the batch atomically to the merged graph, seeds new
+//     vertices least-loaded (§III-D), folds the batch's exact cut deltas
+//     into the owning shards (graph.Mutation.CutEdits), and republishes.
+//   - Maintenance plane: the coordinator tracks the composed cut ratio
+//     cross/total from integer per-shard counters — O(shards) per check
+//     instead of the seed's exact O(E) recompute per swap. Past the
+//     degradation threshold it barriers the shards, clones the merged
+//     graph, and restabilizes in a background goroutine (§III-D) while the
+//     shards keep ingesting and serving. Completed runs merge back under a
+//     barrier and scatter per shard; mid-run per-iteration labelings
+//     publish the same way. Elastic k→k′ (§III-E) relabels the n/(k+n)
+//     fraction under a barrier and repairs in the background; in-flight
+//     runs from the old k-space are discarded. Every ReconcileEvery
+//     applied batches a reconciliation pass recomputes the per-shard
+//     counters exactly (they must match bit-for-bit — the deltas are
+//     integer arithmetic) and rebalances shard boundaries by weighted
+//     degree (cluster.BalancedRanges).
 //
-// Determinism: with a fixed Options.Seed the maintenance plane is
-// deterministic in the sequence of log entries — restabilization seeds are
-// derived from the run epoch, so a quiesced submit/await sequence yields
-// identical labels regardless of worker count or wall-clock timing.
+// Determinism: with a fixed Options.Seed, a quiesced submit/await sequence
+// yields identical labels regardless of worker count, shard count, or
+// wall-clock timing: fast-path batches never relabel, every relabeling
+// event runs under a barrier on the merged graph, and restabilization
+// seeds derive from the run epoch. (Unquiesced sequences interleave merges
+// with ingest nondeterministically, as any live system does.)
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/cluster"
@@ -79,6 +94,18 @@ type Config struct {
 	// MidRunOff disables the per-iteration snapshot publication from
 	// in-flight restabilization runs (on by default).
 	MidRunOff bool
+	// Shards is the number of contiguous vertex-range shards mutation
+	// application parallelizes over (clamped to the vertex count).
+	// Default 1 — a single shard reproduces the unsharded timing exactly;
+	// serving deployments set it near the core count.
+	Shards int
+	// ShardLogDepth bounds each shard's sub-batch log. Default 32.
+	ShardLogDepth int
+	// ReconcileEvery runs the exact cut reconciliation and shard-boundary
+	// rebalance after this many applied batches. Default 512; negative
+	// disables (the incremental integer deltas are exact, so this is a
+	// safety net and a rebalance point, not a correctness requirement).
+	ReconcileEvery int
 }
 
 func (c *Config) normalize() error {
@@ -105,12 +132,27 @@ func (c *Config) normalize() error {
 	if c.DegradeSlack < 0 {
 		return fmt.Errorf("serve: negative DegradeSlack")
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("serve: Shards=%d", c.Shards)
+	}
+	if c.ShardLogDepth == 0 {
+		c.ShardLogDepth = 32
+	}
+	if c.ShardLogDepth < 1 {
+		return fmt.Errorf("serve: ShardLogDepth=%d", c.ShardLogDepth)
+	}
+	if c.ReconcileEvery == 0 {
+		c.ReconcileEvery = 512
+	}
 	return nil
 }
 
-// Snapshot is an immutable view of the partitioning. Lookups resolve
-// against exactly one snapshot, so a reader sees a single consistent
-// labeling even while batches and restabilizations land underneath.
+// Snapshot is an immutable composed view of the partitioning. Lookups
+// resolve against exactly one per-shard snapshot; Snapshot composes all of
+// them for callers that want the global labeling and counters.
 type Snapshot struct {
 	// Labels maps vertex → partition; len(Labels) is the vertex count at
 	// publication. The slice is immutable: neither the Store nor callers
@@ -118,18 +160,28 @@ type Snapshot struct {
 	Labels []int32
 	// K is the partition count this snapshot's labels live in.
 	K int
-	// Version counts snapshot publications (monotonically increasing).
+	// Version counts snapshot publications, summed over shards
+	// (monotonically increasing).
 	Version uint64
-	// AppliedBatches counts mutation batches reflected in this snapshot.
+	// AppliedBatches counts mutation batches resolved (applied or
+	// rejected) at composition time.
 	AppliedBatches uint64
 	// Epoch counts restabilization merges reflected in this snapshot.
 	Epoch uint64
-	// CutRatio is 1−φ of this labeling on the graph it was published
-	// against: the fraction of edge weight crossing partitions.
+	// CutRatio is CutWeight/TotalWeight: the fraction of edge weight
+	// crossing partitions (1−φ), tracked incrementally in integers.
 	CutRatio float64
+	// CutWeight and TotalWeight are the integer cut counters the ratio
+	// derives from; CutByPartition is each partition's external weight
+	// (a cut edge contributes its weight to both endpoints' partitions).
+	CutWeight      int64
+	TotalWeight    int64
+	CutByPartition []int64
+	// Shards is the shard count the view was composed from.
+	Shards int
 }
 
-// Lookup resolves one vertex against the snapshot.
+// Lookup resolves one vertex against the composed snapshot.
 func (s *Snapshot) Lookup(v graph.VertexID) (int32, bool) {
 	if v < 0 || int(v) >= len(s.Labels) {
 		return -1, false
@@ -168,34 +220,37 @@ type midrunNote struct {
 // Store is the live partition-maintenance service. See the package comment
 // for the architecture. All exported methods are safe for concurrent use.
 type Store struct {
-	cfg  Config
-	ctr  metrics.ServeCounters
-	snap atomic.Pointer[Snapshot]
+	cfg    Config
+	ctr    metrics.ServeCounters
+	router atomic.Pointer[routeTable]
 
 	submitted atomic.Int64 // batches submitted (staleness numerator)
-	applied   atomic.Int64 // batches applied
+	applied   atomic.Int64 // batches resolved (applied or rejected)
 	lastErr   atomic.Pointer[error]
 
-	log    chan logEntry
-	closed chan struct{} // closes when Close is called
-	done   chan struct{} // closes when the maintenance loop exits
+	log       chan logEntry
+	batchDone chan struct{} // capacity 1; shards poke after resolving a batch
+	closed    chan struct{} // closes when Close is called
+	done      chan struct{} // closes when the coordinator exits
 
-	// Maintenance-goroutine state (no locks: single owner).
-	w          *graph.Weighted
-	labels     []int32
-	k          int
-	gen        uint64  // bumped by every resize; stamps in-flight runs
-	epoch      uint64  // completed restabilization merges
-	version    uint64  // snapshot publications
-	baseline   float64 // cut ratio achieved by the last stabilization
-	cut        float64 // current cut ratio
-	wantRestab bool    // forced run requested (elastic repair)
-	dirtySince int     // batches applied since the last run started
-	affected   map[graph.VertexID]struct{}
-	inflight   bool
-	restabDone chan restabResult
-	midrun     chan midrunNote // capacity 1; latest-wins mailbox
-	quiescers  []chan error
+	// Coordinator state (no locks: single owner between barriers).
+	w               *graph.Weighted
+	labels          []int32
+	k               int
+	shards          []*shard
+	bounds          []int
+	gen             uint64  // bumped by every resize; stamps in-flight runs
+	epoch           uint64  // completed restabilization merges
+	baseline        float64 // cut ratio achieved by the last stabilization
+	wantRestab      bool    // forced run requested (elastic repair)
+	appliedAtRestab int64   // batches resolved when the last run started
+	lastReconcile   int64   // batches resolved at the last exact pass
+	affected        map[graph.VertexID]struct{}
+	pubGen          uint64 // bumped per barrier relabel/rebalance publication round
+	inflight        bool
+	restabDone      chan restabResult
+	midrun          chan midrunNote // capacity 1; latest-wins mailbox
+	quiescers       []chan error
 }
 
 // New builds a Store over an already-partitioned weighted graph. The Store
@@ -212,9 +267,13 @@ func New(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 	if err := metrics.ValidateLabels(labels, cfg.Options.K); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if n := w.NumVertices(); cfg.Shards > n {
+		cfg.Shards = max(1, n)
+	}
 	s := &Store{
 		cfg:        cfg,
 		log:        make(chan logEntry, cfg.LogDepth),
+		batchDone:  make(chan struct{}, 1),
 		closed:     make(chan struct{}),
 		done:       make(chan struct{}),
 		w:          w,
@@ -224,9 +283,29 @@ func New(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 		restabDone: make(chan restabResult, 1),
 		midrun:     make(chan midrunNote, 1),
 	}
-	s.cut = 1 - metrics.Phi(w, labels)
-	s.baseline = s.cut
-	s.publish()
+	if w.NumVertices() == 0 {
+		s.bounds = []int{0, 0}
+	} else {
+		s.bounds = cluster.BalancedRanges(w, cfg.Shards)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			st: s, id: i,
+			log:  make(chan shardEntry, cfg.ShardLogDepth),
+			done: make(chan struct{}),
+			w:    w, labels: labels,
+			lo: s.bounds[i], hi: s.bounds[i+1],
+			k: s.k,
+		}
+		sh.cross, sh.total, sh.perPart = metrics.CutWeightsRange(w, labels, s.k, sh.lo, sh.hi)
+		sh.publishFresh()
+		s.shards = append(s.shards, sh)
+	}
+	s.publishRouter()
+	s.baseline = s.ownedCut()
+	for _, sh := range s.shards {
+		go sh.run()
+	}
 	go s.loop()
 	return s, nil
 }
@@ -249,24 +328,119 @@ func Bootstrap(g *graph.Graph, cfg Config) (*Store, error) {
 	return New(w, res.Labels, cfg)
 }
 
-// Lookup returns the partition of v in the current snapshot. The second
-// return is false when v is not (yet) visible: either never created, or
-// appended by a batch whose snapshot has not been published.
+// Lookup returns the partition of v in the owning shard's current
+// snapshot: one atomic load of the route table, one of the shard snapshot.
+// The second return is false when v is not (yet) visible: either never
+// created, or appended by a batch whose snapshot has not been published.
 func (s *Store) Lookup(v graph.VertexID) (int32, bool) {
-	snap := s.snap.Load()
 	s.ctr.Lookups.Add(1)
-	if lag := s.submitted.Load() - int64(snap.AppliedBatches); lag > 0 {
+	if lag := s.submitted.Load() - s.applied.Load(); lag > 0 {
 		s.ctr.StalenessSum.Add(lag)
 	}
-	l, ok := snap.Lookup(v)
-	if !ok {
-		s.ctr.LookupMisses.Add(1)
+	for {
+		rt := s.router.Load()
+		if v < 0 || int(v) >= rt.n {
+			s.ctr.LookupMisses.Add(1)
+			return -1, false
+		}
+		if l, ok := rt.shardOf(v).snap.Load().lookup(v); ok {
+			return l, true
+		}
+		// The router says v exists but the routed snapshot does not cover
+		// it: the sweep raced a boundary republication (growth or
+		// rebalance). The coordinator finishes publishing in straight-line
+		// code, so a retry converges; a miss is never reported for a
+		// vertex the published vertex space contains.
 	}
-	return l, ok
 }
 
-// Snapshot returns the current immutable snapshot.
-func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+// Snapshot composes the per-shard snapshots into one immutable global
+// view. A sweep that interleaves with a boundary republication (growth or
+// rebalance, both rare) can catch shards from different layouts; the
+// sweep retries until the captured ranges tile the vertex space exactly,
+// so the composed labels have no gaps or overlaps and every edge is
+// counted by exactly one owner. Each composition allocates; lookups
+// should use Lookup, which resolves against a single shard without
+// composing.
+func (s *Store) Snapshot() *Snapshot {
+	rt := s.router.Load()
+	snaps := make([]*shardSnap, len(rt.shards))
+	for {
+		consistent := true
+		end := 0
+		for i, sh := range rt.shards {
+			sn := sh.snap.Load()
+			snaps[i] = sn
+			// The sweep must capture one publication round: ranges tiling
+			// the vertex space exactly AND a single label generation —
+			// tiling alone would accept a mix of pre- and post-relabel
+			// segments whose boundaries happen to agree.
+			if sn.lo != end || sn.pubGen != snaps[0].pubGen {
+				consistent = false
+			}
+			end = sn.lo + len(sn.labels)
+		}
+		if consistent {
+			break
+		}
+		// Mid-republication; the coordinator finishes in straight-line
+		// code, so a re-sweep converges promptly.
+	}
+	k := 1
+	var version, epoch uint64
+	var cross, total int64
+	maxEnd := 0
+	for _, sn := range snaps {
+		if end := sn.lo + len(sn.labels); end > maxEnd {
+			maxEnd = end
+		}
+		if sn.k > k {
+			k = sn.k
+		}
+		if sn.epoch > epoch {
+			epoch = sn.epoch
+		}
+		version += sn.version
+		cross += sn.cross
+		total += sn.total
+	}
+	labels := make([]int32, maxEnd)
+	perPart := make([]int64, k)
+	for _, sn := range snaps {
+		copy(labels[sn.lo:], sn.labels)
+		for l, wgt := range sn.perPart {
+			if l < k {
+				perPart[l] += wgt
+			}
+		}
+	}
+	return &Snapshot{
+		Labels:         labels,
+		K:              k,
+		Version:        version,
+		AppliedBatches: uint64(s.applied.Load()),
+		Epoch:          epoch,
+		CutRatio:       cutRatio(cross, total),
+		CutWeight:      cross,
+		TotalWeight:    total,
+		CutByPartition: perPart,
+		Shards:         len(rt.shards),
+	}
+}
+
+// K returns the current partition count without composing a full
+// snapshot: O(shards) atomic loads, no label copying. During an elastic
+// transition it reports the larger of the two k-spaces, matching the
+// composed Snapshot.K.
+func (s *Store) K() int {
+	k := 1
+	for _, sh := range s.router.Load().shards {
+		if sn := sh.snap.Load(); sn.k > k {
+			k = sn.k
+		}
+	}
+	return k
+}
 
 // Counters exposes the serving metrics.
 func (s *Store) Counters() *metrics.ServeCounters { return &s.ctr }
@@ -359,9 +533,9 @@ func (s *Store) Quiesce() error {
 	}
 }
 
-// Close stops the maintenance loop and waits for it (and any in-flight
-// restabilization, whose result is discarded) to exit. Lookups remain
-// valid against the last published snapshot after Close.
+// Close stops the coordinator and the shard goroutines and waits for them
+// (and any in-flight restabilization, whose result is discarded) to exit.
+// Lookups remain valid against the last published snapshots after Close.
 func (s *Store) Close() error {
 	select {
 	case <-s.closed:
@@ -374,32 +548,99 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// publish swaps in a new immutable snapshot built from the loop's state.
-func (s *Store) publish() {
-	s.version++
-	labels := make([]int32, len(s.labels))
-	copy(labels, s.labels)
-	s.snap.Store(&Snapshot{
-		Labels:         labels,
-		K:              s.k,
-		Version:        s.version,
-		AppliedBatches: uint64(s.applied.Load()),
-		Epoch:          s.epoch,
-		CutRatio:       s.cut,
-	})
-	s.ctr.SnapshotSwaps.Add(1)
+// cutRatio derives the float ratio from the integer counters; an edgeless
+// graph cuts nothing.
+func cutRatio(cross, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(cross) / float64(total)
 }
 
-// loop is the maintenance goroutine: sole owner of the authoritative graph
-// and labels.
+// publishRouter swaps in a fresh immutable route table. Coordinator-only.
+func (s *Store) publishRouter() {
+	s.router.Store(&routeTable{
+		n:      s.w.NumVertices(),
+		bounds: append([]int(nil), s.bounds...),
+		shards: s.shards,
+	})
+}
+
+// shardIndexOf routes a vertex on the coordinator's authoritative bounds.
+func (s *Store) shardIndexOf(v graph.VertexID) int {
+	return rangeIndex(s.bounds, v)
+}
+
+// ownedCut composes the cut ratio from the shard-owned counters. Only
+// valid under a barrier (or before the shards start).
+func (s *Store) ownedCut() float64 {
+	var cross, total int64
+	for _, sh := range s.shards {
+		cross += sh.cross
+		total += sh.total
+	}
+	return cutRatio(cross, total)
+}
+
+// currentCut composes the cut ratio from the published shard snapshots —
+// safe anytime, trailing in-flight sub-batches by at most one loop turn.
+func (s *Store) currentCut() float64 {
+	var cross, total int64
+	for _, sh := range s.shards {
+		sn := sh.snap.Load()
+		cross += sn.cross
+		total += sn.total
+	}
+	return cutRatio(cross, total)
+}
+
+// withBarrier parks every shard, folds their pending edge/weight totals
+// into the shared graph, runs fn with exclusive access to all state, and
+// resumes the shards. Entries forwarded before the barrier are guaranteed
+// applied when fn runs (shard logs are FIFO).
+func (s *Store) withBarrier(fn func()) {
+	b := &barrier{ack: make(chan struct{}, len(s.shards)), resume: make(chan struct{})}
+	for _, sh := range s.shards {
+		sh.log <- shardEntry{barrier: b}
+	}
+	for range s.shards {
+		<-b.ack
+	}
+	for _, sh := range s.shards {
+		if sh.dEdges != 0 || sh.dWeight != 0 {
+			s.w.AdjustTotals(sh.dEdges, sh.dWeight)
+			sh.dEdges, sh.dWeight = 0, 0
+		}
+	}
+	fn()
+	close(b.resume)
+}
+
+// finishBatch resolves one fast-path batch; called by the shard that
+// completed its last sub-batch.
+func (s *Store) finishBatch(tr *batchTracker) {
+	s.ctr.BatchesApplied.Add(1)
+	s.ctr.EdgesAdded.Add(tr.edges)
+	s.applied.Add(1)
+	select {
+	case s.batchDone <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the coordinator: sole owner of the authoritative graph topology
+// and labels (jointly with the shards, exclusively under barriers).
 func (s *Store) loop() {
 	defer close(s.done)
 	for {
+		s.maybeReconcile()
 		s.maybeRestabilize()
 		s.maybeReleaseQuiescers()
 		select {
 		case e := <-s.log:
 			s.handle(e)
+		case <-s.batchDone:
+			// Fast-path batches resolved; loop to re-evaluate triggers.
 		case res := <-s.restabDone:
 			s.merge(res)
 		case note := <-s.midrun:
@@ -411,13 +652,19 @@ func (s *Store) loop() {
 	}
 }
 
-// drainAndExit waits out an in-flight run (discarding it), fails pending
-// quiescers, and drops unprocessed log entries.
+// drainAndExit waits out an in-flight run (discarding it), stops the
+// shards, fails pending quiescers, and drops unprocessed log entries.
 func (s *Store) drainAndExit() {
 	if s.inflight {
 		<-s.restabDone
 		s.inflight = false
 		s.ctr.RestabDiscarded.Add(1)
+	}
+	for _, sh := range s.shards {
+		close(sh.log) // coordinator is the only sender
+	}
+	for _, sh := range s.shards {
+		<-sh.done
 	}
 	for {
 		select {
@@ -442,76 +689,191 @@ func (s *Store) handle(e logEntry) {
 	case e.newK > 0:
 		s.resize(e.newK)
 	default:
-		s.applyBatch(e.mut)
+		s.handleBatch(e.mut)
 	}
 }
 
-// applyBatch applies one mutation batch to the authoritative graph, seeds
-// appended vertices on the least-loaded partitions, refreshes the cut
-// ratio, and publishes. A batch that fails validation is counted, recorded
-// and dropped — the graph is untouched (Mutation.Apply is atomic).
-func (s *Store) applyBatch(m *graph.Mutation) {
-	oldN := s.w.NumVertices()
-	firstNew, err := m.Apply(s.w)
-	if err != nil {
-		s.ctr.BatchesRejected.Add(1)
-		s.lastErr.Store(&err)
-		s.applied.Add(1) // resolved, though rejected
-		s.publish()      // refresh AppliedBatches so staleness converges
+// handleBatch routes a mutation batch: edge additions between existing
+// vertices fan out to the shards; anything else (vertex growth, removals,
+// batches that will fail validation) takes the barrier path.
+func (s *Store) handleBatch(m *graph.Mutation) {
+	if s.tryFastPath(m) {
 		return
 	}
-	if firstNew >= 0 {
-		grown := make([]int32, s.w.NumVertices())
-		copy(grown, s.labels)
-		core.SeedNewVertices(s.w, grown, oldN, s.k)
-		s.labels = grown
-		s.ctr.VerticesAdded.Add(int64(s.w.NumVertices() - oldN))
-		for v := oldN; v < s.w.NumVertices(); v++ {
-			s.affected[graph.VertexID(v)] = struct{}{}
-		}
-	}
-	for _, v := range m.TouchedVertices() {
-		if int(v) < s.w.NumVertices() {
-			s.affected[v] = struct{}{}
-		}
-	}
-	s.ctr.EdgesAdded.Add(int64(len(m.NewEdges)))
-	s.ctr.EdgesRemoved.Add(int64(len(m.RemovedEdges)))
-	s.ctr.BatchesApplied.Add(1)
-	s.applied.Add(1)
-	s.dirtySince++
-	s.cut = 1 - metrics.Phi(s.w, s.labels)
-	s.publish()
+	s.applyGlobalBatch(m)
 }
 
-// resize performs the elastic step of §III-E: relabel the n/(k+n) fraction
-// (or collapse removed partitions) immediately and deterministically, then
-// schedule a background repair run. An in-flight restabilization belongs
-// to the old k-space; bumping the generation invalidates it.
+// tryFastPath broadcasts an add-only batch to every shard; each picks out
+// the arcs whose rows it owns with two compares per edge, so the
+// coordinator's serial cost per batch is one validation scan plus the
+// sends. Such a batch can never fail validation (the checks are
+// graph-independent), so atomicity is trivial, and it never relabels, so
+// the shards apply it against frozen labels without synchronization.
+func (s *Store) tryFastPath(m *graph.Mutation) bool {
+	if m.NewVertices != 0 || len(m.RemovedEdges) != 0 {
+		return false
+	}
+	n := graph.VertexID(s.w.NumVertices())
+	for _, e := range m.NewEdges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+			return false
+		}
+	}
+	if len(m.NewEdges) == 0 { // empty batch: resolve immediately
+		s.ctr.BatchesApplied.Add(1)
+		s.applied.Add(1)
+		return true
+	}
+	if s.cfg.Options.AffectedOnly {
+		for _, e := range m.NewEdges {
+			s.affected[e.U] = struct{}{}
+			s.affected[e.V] = struct{}{}
+		}
+	}
+	tr := &batchTracker{edges: int64(len(m.NewEdges))}
+	tr.remaining.Store(int32(len(s.shards)))
+	for _, sh := range s.shards {
+		sh.log <- shardEntry{mut: m, tracker: tr}
+	}
+	return true
+}
+
+// applyGlobalBatch applies one batch under a barrier: vertex growth,
+// removals, and invalid batches land here. Application is atomic
+// (Mutation.Apply validates first); a rejected batch is counted, recorded
+// and dropped with the graph untouched. Cut counters advance by the
+// batch's O(batch) exact deltas, never an O(E) recompute — except the
+// ErrCutAmbiguous corner (duplicate-pair removals with differing weights),
+// which falls back to reconciliation.
+func (s *Store) applyGlobalBatch(m *graph.Mutation) {
+	s.withBarrier(func() {
+		oldN := s.w.NumVertices()
+		edits, editErr := m.CutEdits(s.w)
+		firstNew, err := m.Apply(s.w)
+		if err != nil {
+			s.ctr.BatchesRejected.Add(1)
+			s.lastErr.Store(&err)
+			s.applied.Add(1) // resolved, though rejected
+			return
+		}
+		grew := firstNew >= 0
+		if grew {
+			newN := s.w.NumVertices()
+			grown := make([]int32, newN)
+			copy(grown, s.labels)
+			core.SeedNewVertices(s.w, grown, oldN, s.k)
+			s.labels = grown
+			for _, sh := range s.shards {
+				sh.labels = grown
+			}
+			// The appended tail extends the last shard's range; boundaries
+			// rebalance at the next reconciliation pass.
+			s.shards[len(s.shards)-1].hi = newN
+			s.bounds[len(s.bounds)-1] = newN
+			s.ctr.VerticesAdded.Add(int64(newN - oldN))
+			if s.cfg.Options.AffectedOnly {
+				for v := oldN; v < newN; v++ {
+					s.affected[graph.VertexID(v)] = struct{}{}
+				}
+			}
+		}
+		if s.cfg.Options.AffectedOnly {
+			for _, v := range m.TouchedVertices() {
+				if int(v) < s.w.NumVertices() {
+					s.affected[v] = struct{}{}
+				}
+			}
+		}
+		s.ctr.EdgesAdded.Add(int64(len(m.NewEdges)))
+		s.ctr.EdgesRemoved.Add(int64(len(m.RemovedEdges)))
+		s.ctr.BatchesApplied.Add(1)
+		s.applied.Add(1)
+
+		if editErr != nil {
+			// Valid batch whose removal weights were unpredictable:
+			// recompute exactly (rare safety valve, see ErrCutAmbiguous).
+			s.recomputeShardCuts()
+			if grew {
+				s.publishRouter()
+			}
+			return
+		}
+		touched := make([]bool, len(s.shards))
+		for _, ed := range edits {
+			sh := s.shards[s.shardIndexOf(ed.U)]
+			wgt := int64(ed.Weight)
+			if !ed.Add {
+				wgt = -wgt
+			}
+			sh.total += wgt
+			if lu, lv := s.labels[ed.U], s.labels[ed.V]; lu != lv {
+				sh.cross += wgt
+				sh.perPart[lu] += wgt
+				sh.perPart[lv] += wgt
+			}
+			touched[sh.id] = true
+		}
+		last := len(s.shards) - 1
+		for i, sh := range s.shards {
+			switch {
+			case i == last && grew:
+				sh.publishFresh() // segment grew: copy the new tail
+			case touched[i]:
+				sh.publishDelta()
+			}
+		}
+		if grew {
+			s.publishRouter()
+		}
+	})
+}
+
+// resize performs the elastic step of §III-E under a barrier: relabel the
+// n/(k+n) fraction (or collapse removed partitions) immediately and
+// deterministically, then schedule a background repair run. An in-flight
+// restabilization belongs to the old k-space; bumping the generation
+// invalidates it.
 func (s *Store) resize(newK int) {
 	if newK == s.k {
 		return
 	}
-	seed := s.cfg.Options.Seed ^ (0x9e37*s.gen + 0xb5)
-	relabeled, err := core.ElasticRelabel(s.labels, s.k, newK, seed)
-	if err != nil {
-		s.lastErr.Store(&err)
-		return
-	}
-	moved := 0
-	for v := range relabeled {
-		if relabeled[v] != s.labels[v] {
-			moved++
+	s.withBarrier(func() {
+		seed := s.cfg.Options.Seed ^ (0x9e37*s.gen + 0xb5)
+		relabeled, err := core.ElasticRelabel(s.labels, s.k, newK, seed)
+		if err != nil {
+			s.lastErr.Store(&err)
+			return
 		}
+		moved := 0
+		for v := range relabeled {
+			if relabeled[v] != s.labels[v] {
+				moved++
+			}
+		}
+		s.labels = relabeled
+		s.k = newK
+		s.gen++
+		s.wantRestab = true
+		s.ctr.ElasticResizes.Add(1)
+		s.ctr.ElasticSeedMoved.Add(int64(moved))
+		s.recomputeShardCuts()
+	})
+}
+
+// recomputeShardCuts refreshes every shard's labels view, counters (exact)
+// and snapshot. Coordinator-only, under a barrier; used by the relabeling
+// events (resize, merges), which move too many labels for per-edge deltas
+// to pay off.
+func (s *Store) recomputeShardCuts() {
+	s.pubGen++ // new label generation: Snapshot refuses to mix rounds
+	for _, sh := range s.shards {
+		sh.labels = s.labels
+		sh.k = s.k
+		sh.epoch = s.epoch
+		sh.pubGen = s.pubGen
+		sh.cross, sh.total, sh.perPart = metrics.CutWeightsRange(s.w, s.labels, s.k, sh.lo, sh.hi)
+		sh.publishFresh()
 	}
-	s.labels = relabeled
-	s.k = newK
-	s.gen++
-	s.wantRestab = true
-	s.ctr.ElasticResizes.Add(1)
-	s.ctr.ElasticSeedMoved.Add(int64(moved))
-	s.cut = 1 - metrics.Phi(s.w, s.labels)
-	s.publish()
 }
 
 // shouldRestabilize evaluates the degradation trigger.
@@ -519,30 +881,35 @@ func (s *Store) shouldRestabilize() bool {
 	if s.wantRestab {
 		return true
 	}
-	return s.dirtySince > 0 && s.cut > s.baseline*s.cfg.DegradeFactor+s.cfg.DegradeSlack
+	return s.applied.Load() > s.appliedAtRestab &&
+		s.currentCut() > s.baseline*s.cfg.DegradeFactor+s.cfg.DegradeSlack
 }
 
 // maybeRestabilize starts a background incremental run when the trigger
-// fires and none is in flight. The run adapts a clone of the graph, so the
-// loop keeps ingesting batches and serving lookups; per-iteration labels
-// stream back through the mid-run mailbox.
+// fires and none is in flight. The clone is taken under a barrier so the
+// run sees a consistent merged graph; the shards then keep ingesting and
+// serving while the run adapts the clone, streaming per-iteration labels
+// back through the mid-run mailbox.
 func (s *Store) maybeRestabilize() {
 	if s.inflight || !s.shouldRestabilize() {
 		return
 	}
-	s.wantRestab = false
-	s.dirtySince = 0
-	clone := s.w.Clone()
-	prev := make([]int32, len(s.labels))
-	copy(prev, s.labels)
+	var clone *graph.Weighted
+	var prev []int32
 	var affected []graph.VertexID
-	if s.cfg.Options.AffectedOnly {
-		affected = make([]graph.VertexID, 0, len(s.affected))
-		for v := range s.affected {
-			affected = append(affected, v)
+	s.withBarrier(func() {
+		s.wantRestab = false
+		s.appliedAtRestab = s.applied.Load()
+		clone = s.w.Clone()
+		prev = append([]int32(nil), s.labels...)
+		if s.cfg.Options.AffectedOnly {
+			affected = make([]graph.VertexID, 0, len(s.affected))
+			for v := range s.affected {
+				affected = append(affected, v)
+			}
 		}
-	}
-	s.affected = make(map[graph.VertexID]struct{})
+		s.affected = make(map[graph.VertexID]struct{})
+	})
 
 	opts := s.cfg.Options
 	opts.K = s.k
@@ -598,20 +965,21 @@ func (s *Store) mergeMidrun(note midrunNote) {
 	if note.gen != s.gen || note.epoch != s.epoch || !s.inflight {
 		return
 	}
-	merged := make([]int32, len(s.labels))
-	copy(merged, note.labels[:note.base])
-	copy(merged[note.base:], s.labels[note.base:])
-	s.labels = merged
-	s.cut = 1 - metrics.Phi(s.w, s.labels)
-	s.ctr.MidRunSnapshots.Add(1)
-	s.publish()
+	s.withBarrier(func() {
+		merged := make([]int32, len(s.labels))
+		copy(merged, note.labels[:note.base])
+		copy(merged[note.base:], s.labels[note.base:])
+		s.labels = merged
+		s.ctr.MidRunSnapshots.Add(1)
+		s.recomputeShardCuts()
+	})
 }
 
 // merge lands a completed restabilization: counts the migration volume,
 // adopts the run's labels (plus seeded labels for vertices appended during
-// the run), resets the degradation baseline, and publishes. Runs from a
-// previous resize generation are discarded — their labels are in the wrong
-// k-space.
+// the run), resets the degradation baseline, and republishes every shard.
+// Runs from a previous resize generation are discarded — their labels live
+// in the wrong k-space.
 func (s *Store) merge(res restabResult) {
 	s.inflight = false
 	if res.err != nil {
@@ -623,27 +991,90 @@ func (s *Store) merge(res restabResult) {
 		s.ctr.RestabDiscarded.Add(1)
 		return
 	}
-	merged := make([]int32, len(s.labels))
-	copy(merged, res.labels[:res.base])
-	copy(merged[res.base:], s.labels[res.base:])
-	verts, weight := cluster.MigrationVolume(s.w, s.labels, merged)
-	s.ctr.MigratedVertices.Add(verts)
-	s.ctr.MigratedWeight.Add(weight)
-	s.labels = merged
-	s.epoch++
-	s.ctr.Restabilizations.Add(1)
-	s.cut = 1 - metrics.Phi(s.w, s.labels)
-	s.baseline = s.cut
-	s.publish()
+	s.withBarrier(func() {
+		merged := make([]int32, len(s.labels))
+		copy(merged, res.labels[:res.base])
+		copy(merged[res.base:], s.labels[res.base:])
+		verts, weight := cluster.MigrationVolume(s.w, s.labels, merged)
+		s.ctr.MigratedVertices.Add(verts)
+		s.ctr.MigratedWeight.Add(weight)
+		s.labels = merged
+		s.epoch++
+		s.ctr.Restabilizations.Add(1)
+		s.recomputeShardCuts()
+		s.baseline = s.ownedCut()
+	})
+}
+
+// maybeReconcile runs the periodic exact pass: every ReconcileEvery
+// resolved batches, recompute each shard's counters from its owned edges
+// (they must match the incremental values bit-for-bit) and rebalance the
+// shard boundaries by weighted degree.
+func (s *Store) maybeReconcile() {
+	if s.cfg.ReconcileEvery <= 0 {
+		return
+	}
+	if s.applied.Load()-s.lastReconcile < int64(s.cfg.ReconcileEvery) {
+		return
+	}
+	if s.w.NumVertices() < len(s.shards) {
+		// A zero-vertex store has one shard with an empty range; there is
+		// nothing to reconcile or rebalance (and BalancedRanges requires
+		// shards <= vertices).
+		s.lastReconcile = s.applied.Load()
+		return
+	}
+	s.withBarrier(func() {
+		// Verify the incremental counters against an exact recompute over
+		// the CURRENT ownership before any boundary moves — a moved
+		// boundary transfers edges between shards, which is not drift.
+		drifted := make([]bool, len(s.shards))
+		for i, sh := range s.shards {
+			cross, total, perPart := metrics.CutWeightsRange(s.w, s.labels, s.k, sh.lo, sh.hi)
+			if cross != sh.cross || total != sh.total || !slices.Equal(perPart, sh.perPart) {
+				drifted[i] = true
+				s.ctr.CutDrift.Add(1)
+				sh.cross, sh.total, sh.perPart = cross, total, perPart
+			}
+		}
+		newBounds := cluster.BalancedRanges(s.w, len(s.shards))
+		rebalanced := !slices.Equal(newBounds, s.bounds)
+		if rebalanced {
+			copy(s.bounds, newBounds)
+			s.pubGen++ // boundary move: republish every shard as one round
+			s.ctr.ShardRebalances.Add(1)
+		}
+		for i, sh := range s.shards {
+			if rebalanced {
+				sh.lo, sh.hi = s.bounds[i], s.bounds[i+1]
+				sh.pubGen = s.pubGen
+				sh.cross, sh.total, sh.perPart = metrics.CutWeightsRange(s.w, s.labels, s.k, sh.lo, sh.hi)
+			}
+			if rebalanced || drifted[i] {
+				sh.publishFresh()
+			}
+		}
+		s.ctr.CutReconciles.Add(1)
+		if rebalanced {
+			s.publishRouter()
+		}
+	})
+	s.lastReconcile = s.applied.Load()
 }
 
 // maybeReleaseQuiescers answers pending Quiesce calls once the store is
-// fully drained: no log backlog, no run in flight, no trigger pending.
+// fully drained: no log backlog, no run in flight, no trigger pending. The
+// shard logs are drained with an empty barrier before the final trigger
+// evaluation, so the decision is made on fully-applied counters.
 func (s *Store) maybeReleaseQuiescers() {
 	if len(s.quiescers) == 0 {
 		return
 	}
-	if s.inflight || len(s.log) > 0 || len(s.midrun) > 0 || s.shouldRestabilize() {
+	if s.inflight || len(s.log) > 0 || len(s.midrun) > 0 {
+		return
+	}
+	s.withBarrier(func() {})
+	if s.shouldRestabilize() {
 		return
 	}
 	err := s.Err()

@@ -4,15 +4,21 @@
 # Runs go vet, the tier-1 test suite, the race-detector pass over the
 # concurrency-bearing packages (pregel + serve), and one microbenchmark
 # (-benchmem, -count=N), then appends a labeled JSON record of the
-# benchmark runs to the output file. Each PR that touches a hot path
+# benchmark runs to the output file. Sub-benchmarks (BenchmarkX/case=y) are
+# recorded individually under "name". Each PR that touches a hot path
 # records its before/after pair here so the perf trajectory is auditable.
 #
+# Quick mode (-q) is the CI benchmark smoke: it skips the verify steps and
+# the JSON write and runs the benchmark once (-benchtime=1x -count=1), so
+# benchmark compile/run breakage fails fast without full timing runs.
+#
 # Defaults reproduce the PR-1 gate (BenchmarkSpinnerIteration in the root
-# package into BENCH_pr1.json); the serving-layer gate is
+# package into BENCH_pr1.json); the serving-layer gates are
 #
 #   scripts/bench.sh -b BenchmarkServeLookupUnderChurn -p ./internal/serve -o BENCH_pr2.json
+#   scripts/bench.sh -b BenchmarkServeMutateThroughput -p ./internal/serve -o BENCH_pr3.json
 #
-# Usage: scripts/bench.sh [-l label] [-o outfile] [-c count] [-b benchmark] [-p package]
+# Usage: scripts/bench.sh [-l label] [-o outfile] [-c count] [-b benchmark] [-p package] [-q]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,24 +27,39 @@ OUT="BENCH_pr1.json"
 COUNT=5
 BENCH="BenchmarkSpinnerIteration"
 PKG="."
-while getopts "l:o:c:b:p:" opt; do
+QUICK=0
+while getopts "l:o:c:b:p:q" opt; do
   case "$opt" in
     l) LABEL="$OPTARG" ;;
     o) OUT="$OPTARG" ;;
     c) COUNT="$OPTARG" ;;
     b) BENCH="$OPTARG" ;;
     p) PKG="$OPTARG" ;;
-    *) echo "usage: $0 [-l label] [-o outfile] [-c count] [-b benchmark] [-p package]" >&2; exit 2 ;;
+    q) QUICK=1 ;;
+    *) echo "usage: $0 [-l label] [-o outfile] [-c count] [-b benchmark] [-p package] [-q]" >&2; exit 2 ;;
   esac
 done
 
-echo "== go vet ./..."
-go vet ./...
-echo "== tier-1: go build ./... && go test ./..."
-go build ./...
-go test ./...
-echo "== race: go test -race ./internal/pregel/ ./internal/serve/"
-go test -race ./internal/pregel/ ./internal/serve/
+if [ "$QUICK" -eq 1 ]; then
+  echo "== quick bench smoke: go test -bench=$BENCH -benchtime=1x -count=1 $PKG"
+  go test -run='^$' -bench="^${BENCH}\$" -benchtime=1x -count=1 "$PKG"
+  exit 0
+fi
+
+verify() {
+  echo "== go vet ./..."
+  go vet ./... || return 1
+  echo "== tier-1: go build ./... && go test ./..."
+  go build ./... || return 1
+  go test ./... || return 1
+  echo "== race: go test -race ./internal/pregel/ ./internal/serve/"
+  go test -race ./internal/pregel/ ./internal/serve/ || return 1
+}
+if ! verify; then
+  echo "bench.sh: verify step failed; not recording benchmarks" >&2
+  exit 1
+fi
+
 echo "== go test -bench=$BENCH -benchmem -count=$COUNT $PKG"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -46,7 +67,9 @@ go test -run='^$' -bench="^${BENCH}\$" -benchmem -count="$COUNT" "$PKG" | tee "$
 
 RECORD=$(awk -v label="$LABEL" -v bench="$BENCH" -v gover="$(go version | awk '{print $3}')" '
   BEGIN { n = 0 }
-  $1 ~ "^" bench "(-[0-9]+)?$" {
+  # Match the benchmark and its sub-benchmarks: Bench, Bench-8, Bench/sub=x-8.
+  $1 ~ "^" bench "(/[^ ]*)?(-[0-9]+)?$" {
+    name[n] = $1; sub(/-[0-9]+$/, "", name[n])
     ns[n] = 0; bytes[n] = 0; allocs[n] = 0
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op") ns[n] = $(i-1)
@@ -61,7 +84,7 @@ RECORD=$(awk -v label="$LABEL" -v bench="$BENCH" -v gover="$(go version | awk '{
     sns = 0; sb = 0; sa = 0
     for (i = 0; i < n; i++) {
       if (i) printf ", "
-      printf "{\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", ns[i], bytes[i], allocs[i]
+      printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name[i], ns[i], bytes[i], allocs[i]
       sns += ns[i]; sb += bytes[i]; sa += allocs[i]
     }
     printf "], \"mean\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}}", sns/n, sb/n, sa/n
