@@ -13,17 +13,26 @@
 #   make bench-mutate— same gate but BenchmarkServeMutateThroughput (the
 #                      sharded-store write plane: shards=1/2/4 fan-out plus
 #                      the incremental-vs-exact cut axis), into BENCH_pr3.json
+#   make bench-durable— same gate but BenchmarkServeMutateDurable (journaled
+#                      vs in-memory mutation throughput across fsync
+#                      policies), into BENCH_pr4.json
 #   make bench-quick — CI benchmark smoke: every recorded benchmark runs
 #                      once (-benchtime=1x -count=1, no JSON write), so
 #                      compile/run breakage is caught without timing runs
+#   make recovery-smoke — kill -9 a durable spinnerd mid-churn, reopen the
+#                      data dir, assert /healthz + lookup consistency
+#                      (scripts/recovery_smoke.sh; also a CI job)
 #
 # The serving layer (internal/serve) is a sharded store: N shards each own
 # a contiguous vertex range with incremental O(batch) cut tracking, exact-
 # reconciled (and boundary-rebalanced) every Config.ReconcileEvery batches.
-# CI (.github/workflows/ci.yml) runs lint + check + bench-quick on the Go
-# version pinned in go.mod.
+# Durability (internal/wal) journals every accepted batch ahead of apply
+# and checkpoints the composed state; serve.Open recovers after a crash.
+# CI (.github/workflows/ci.yml) runs lint + check + bench-quick + the
+# recovery smoke on the Go version pinned in go.mod, and uploads
+# BENCH_pr4.json as a workflow artifact.
 
-.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-quick
+.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-quick recovery-smoke
 
 all: check
 
@@ -47,7 +56,7 @@ test:
 	go test ./...
 
 test-race:
-	go test -race ./internal/pregel/ ./internal/serve/
+	go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/
 
 bench:
 	./scripts/bench.sh -l current -o BENCH_pr1.json
@@ -58,6 +67,12 @@ bench-serve:
 bench-mutate:
 	./scripts/bench.sh -l current -b BenchmarkServeMutateThroughput -p ./internal/serve -o BENCH_pr3.json
 
+bench-durable:
+	./scripts/bench.sh -l current -b BenchmarkServeMutateDurable -p ./internal/serve -o BENCH_pr4.json
+
 bench-quick:
 	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .
-	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput)' -p ./internal/serve
+	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable)' -p ./internal/serve
+
+recovery-smoke:
+	./scripts/recovery_smoke.sh

@@ -8,7 +8,8 @@
 //
 //	spinnerd -k 32 -in graph.txt -addr :8080
 //	spinnerd -k 8 -synthetic 20000 -demo 2s
-//	spinnerd -k 32 -shards 8 -in graph.txt     # 8-way sharded mutation application
+//	spinnerd -k 32 -shards 8 -in graph.txt          # 8-way sharded mutation application
+//	spinnerd -k 32 -in graph.txt -data-dir /var/spinner -fsync interval
 //
 // The store is sharded (-shards, default GOMAXPROCS capped at 8): each
 // shard owns a contiguous vertex range and applies mutation sub-batches in
@@ -16,16 +17,39 @@
 // integer cut counters (cut_weight, total_weight, cut_by_partition) and
 // the shard count.
 //
-// Endpoints:
+// # Durability
 //
-//	GET  /lookup?v=ID      → {"vertex":ID,"partition":P,"version":V}
-//	POST /mutate           → apply a mutation batch, one op per line:
+// With -data-dir the daemon is durable: every accepted mutation/resize
+// batch is appended to a CRC-framed write-ahead journal before it is
+// applied, and the composed store state is checkpointed every
+// -checkpoint-every applied batches (plus once at graceful shutdown —
+// SIGINT/SIGTERM drains the listener and writes a final checkpoint). If
+// the data dir already holds state, the input graph flags are ignored and
+// the daemon recovers instead: latest valid checkpoint + journal tail
+// replay, with torn tails truncated and mid-log corruption refused. The
+// -fsync policy trades throughput for durability against OS/power death:
+// never (page cache; survives process crashes), interval (bounded loss
+// window), always (every acknowledged batch survives power loss).
+//
+// # HTTP API
+//
+// Success responses are JSON; error responses are JSON too, shaped
+// {"error": "message"} with the status carrying the class (400 malformed,
+// 404 unknown vertex, 503 backpressure/shutdown).
+//
+//	GET  /lookup?v=ID      → 200 {"vertex":ID,"partition":P,"version":V,"k":K}
+//	                         400 {"error":"bad vertex id"} | 404 {"error":"vertex not found"}
+//	POST /mutate           → 202 {"queued":true,"adds":A,"removes":R,"vertices":N}
+//	                         400 {"error":"line L: ..."} | 503 {"error":"serve: mutation log full"}
+//	                         body: one op per line:
 //	                           + u v [w]   add undirected edge {u,v} (weight w, default 2)
 //	                           - u v       remove undirected edge {u,v}
 //	                           v n         append n vertices
-//	POST /resize?k=K       → elastic change to K partitions (400 if K is
-//	                         malformed, < 1, or equal to the current k)
-//	GET  /stats            → snapshot + serving counters (JSON)
+//	POST /resize?k=K       → 202 {"queued":true,"k":K}
+//	                         400 {"error":"bad k"|"k unchanged"} | 503 {"error":...}
+//	GET  /stats            → 200 snapshot + serving counters (JSON), including the
+//	                         durability counters (journal appends/bytes/fsyncs,
+//	                         checkpoints, replayed records) and "durable"
 //	GET  /healthz          → 200 once serving
 //
 // With -demo D the daemon skips the listener, drives synthetic churn
@@ -36,16 +60,20 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -53,76 +81,150 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
+// daemonConfig carries the parsed flags into run.
+type daemonConfig struct {
+	k          int
+	c          float64
+	seed       uint64
+	workers    int
+	maxIter    int
+	undirected bool
+	inPath     string
+	synthetic  int
+	addr       string
+	logDepth   int
+	degrade    float64
+	shards     int
+	demo       time.Duration
+
+	dataDir         string
+	fsync           string
+	checkpointEvery int
+}
+
 func main() {
-	var (
-		k          = flag.Int("k", 32, "number of partitions")
-		c          = flag.Float64("c", 1.05, "additional capacity (c > 1)")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		workers    = flag.Int("workers", 0, "Pregel workers (0 = GOMAXPROCS)")
-		maxIter    = flag.Int("max-iterations", 200, "iteration cap per maintenance run")
-		undirected = flag.Bool("undirected", false, "treat input edges as undirected")
-		inPath     = flag.String("in", "", "input edge list (default stdin; ignored with -synthetic)")
-		synthetic  = flag.Int("synthetic", 0, "generate a Watts-Strogatz graph with this many vertices instead of reading input")
-		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		logDepth   = flag.Int("log-depth", 64, "bounded mutation log depth")
-		degrade    = flag.Float64("degrade", 1.10, "cut-ratio degradation factor triggering restabilization")
-		shards     = flag.Int("shards", 0, "store shards for parallel mutation application (0 = GOMAXPROCS, capped at 8)")
-		demo       = flag.Duration("demo", 0, "run synthetic churn for this duration and exit (no listener)")
-	)
+	var dc daemonConfig
+	flag.IntVar(&dc.k, "k", 32, "number of partitions")
+	flag.Float64Var(&dc.c, "c", 1.05, "additional capacity (c > 1)")
+	flag.Uint64Var(&dc.seed, "seed", 1, "random seed")
+	flag.IntVar(&dc.workers, "workers", 0, "Pregel workers (0 = GOMAXPROCS)")
+	flag.IntVar(&dc.maxIter, "max-iterations", 200, "iteration cap per maintenance run")
+	flag.BoolVar(&dc.undirected, "undirected", false, "treat input edges as undirected")
+	flag.StringVar(&dc.inPath, "in", "", "input edge list (default stdin; ignored with -synthetic or when -data-dir holds state)")
+	flag.IntVar(&dc.synthetic, "synthetic", 0, "generate a Watts-Strogatz graph with this many vertices instead of reading input")
+	flag.StringVar(&dc.addr, "addr", ":8080", "HTTP listen address")
+	flag.IntVar(&dc.logDepth, "log-depth", 64, "bounded mutation log depth")
+	flag.Float64Var(&dc.degrade, "degrade", 1.10, "cut-ratio degradation factor triggering restabilization")
+	flag.IntVar(&dc.shards, "shards", 0, "store shards for parallel mutation application (0 = GOMAXPROCS, capped at 8)")
+	flag.DurationVar(&dc.demo, "demo", 0, "run synthetic churn for this duration and exit (no listener)")
+	flag.StringVar(&dc.dataDir, "data-dir", "", "durable data directory (journal + checkpoints); empty = in-memory only")
+	flag.StringVar(&dc.fsync, "fsync", "interval", "journal fsync policy: never|interval|always")
+	flag.IntVar(&dc.checkpointEvery, "checkpoint-every", 4096, "applied batches between checkpoints (negative disables periodic checkpoints)")
 	flag.Parse()
-	if err := run(*k, *c, *seed, *workers, *maxIter, *undirected, *inPath, *synthetic,
-		*addr, *logDepth, *degrade, *shards, *demo, os.Stdout); err != nil {
+	if err := run(dc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spinnerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(k int, c float64, seed uint64, workers, maxIter int, undirected bool,
-	inPath string, synthetic int, addr string, logDepth int, degrade float64,
-	shards int, demo time.Duration, out io.Writer) error {
+func run(dc daemonConfig, out io.Writer) error {
+	// The flag default 0 means GOMAXPROCS (capped) on a fresh store, and
+	// "keep the checkpointed shard layout" when recovering.
+	shards := dc.shards
 	if shards == 0 {
 		shards = min(runtime.GOMAXPROCS(0), 8)
 	}
-	var g *graph.Graph
-	switch {
-	case synthetic > 0:
-		g = gen.WattsStrogatz(synthetic, 10, 0.2, seed)
-	default:
+	opts := core.Options{K: dc.k, C: dc.c, Seed: dc.seed, NumWorkers: dc.workers, MaxIterations: dc.maxIter}
+	cfg := serve.Config{Options: opts, LogDepth: dc.logDepth, DegradeFactor: dc.degrade, Shards: shards}
+
+	loadGraph := func() (*graph.Graph, error) {
+		if dc.synthetic > 0 {
+			return gen.WattsStrogatz(dc.synthetic, 10, 0.2, dc.seed), nil
+		}
 		var in io.Reader = os.Stdin
-		if inPath != "" {
-			f, err := os.Open(inPath)
+		if dc.inPath != "" {
+			f, err := os.Open(dc.inPath)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			defer f.Close()
 			in = f
 		}
-		var err error
-		g, err = graph.ReadEdgeList(in, !undirected)
+		return graph.ReadEdgeList(in, !dc.undirected)
+	}
+
+	var st *serve.Store
+	switch {
+	case dc.dataDir != "":
+		pol, err := wal.ParsePolicy(dc.fsync)
 		if err != nil {
 			return err
 		}
-	}
-
-	opts := core.Options{K: k, C: c, Seed: seed, NumWorkers: workers, MaxIterations: maxIter}
-	cfg := serve.Config{Options: opts, LogDepth: logDepth, DegradeFactor: degrade, Shards: shards}
-	fmt.Fprintf(out, "spinnerd: partitioning %d vertices into %d partitions (%d store shards)...\n",
-		g.NumVertices(), k, shards)
-	st, err := serve.Bootstrap(g, cfg)
-	if err != nil {
-		return err
+		cfg.Durability = serve.DurabilityConfig{Fsync: pol, CheckpointEvery: dc.checkpointEvery}
+		if serve.HasState(dc.dataDir) {
+			fmt.Fprintf(out, "spinnerd: recovering from %s (fsync=%s)...\n", dc.dataDir, pol)
+			cfg.Shards = dc.shards // 0 keeps the checkpointed layout
+			st, err = serve.Open(dc.dataDir, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "spinnerd: recovered %d vertices (replayed %d journal records)\n",
+				len(st.Snapshot().Labels), st.Counters().ReplayedRecords.Load())
+		} else {
+			g, err := loadGraph()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "spinnerd: partitioning %d vertices into %d partitions (%d store shards, durable in %s, fsync=%s)...\n",
+				g.NumVertices(), dc.k, shards, dc.dataDir, pol)
+			st, err = serve.BootstrapDurable(dc.dataDir, g, cfg)
+			if err != nil {
+				return err
+			}
+		}
+	default:
+		g, err := loadGraph()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "spinnerd: partitioning %d vertices into %d partitions (%d store shards)...\n",
+			g.NumVertices(), dc.k, shards)
+		st, err = serve.Bootstrap(g, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	defer st.Close()
 	snap := st.Snapshot()
 	fmt.Fprintf(out, "spinnerd: serving (cut ratio %.4f)\n", snap.CutRatio)
 
-	if demo > 0 {
-		return runDemo(st, demo, seed, out)
+	if dc.demo > 0 {
+		return runDemo(st, dc.demo, dc.seed, out)
 	}
-	fmt.Fprintf(out, "spinnerd: listening on %s\n", addr)
-	return http.ListenAndServe(addr, newMux(st))
+	fmt.Fprintf(out, "spinnerd: listening on %s\n", dc.addr)
+	srv := &http.Server{Addr: dc.addr, Handler: newMux(st)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		// Graceful shutdown: drain the listener, then Close the store —
+		// on a durable store that writes the final checkpoint, so the
+		// next start recovers without replaying.
+		fmt.Fprintln(out, "spinnerd: signal received; draining and checkpointing...")
+		sdCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return st.Close()
+	}
 }
 
 // runDemo drives synthetic churn + lookups against the store and prints
@@ -180,7 +282,9 @@ func describe(s *serve.Snapshot) string {
 		s.Version, len(s.Labels), s.K, s.CutRatio, s.Epoch)
 }
 
-// newMux wires the store into an HTTP API.
+// newMux wires the store into an HTTP API. Success and error bodies are
+// both JSON (errors are {"error": msg}); see the package comment for the
+// exact shapes.
 func newMux(st *serve.Store) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -190,47 +294,45 @@ func newMux(st *serve.Store) *http.ServeMux {
 	mux.HandleFunc("GET /lookup", func(w http.ResponseWriter, r *http.Request) {
 		v, err := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
 		if err != nil {
-			http.Error(w, "bad vertex id", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad vertex id")
 			return
 		}
 		part, ok := st.Lookup(graph.VertexID(v))
 		if !ok {
-			http.Error(w, "vertex not found", http.StatusNotFound)
+			writeError(w, http.StatusNotFound, "vertex not found")
 			return
 		}
 		snap := st.Snapshot()
-		writeJSON(w, map[string]any{"vertex": v, "partition": part, "version": snap.Version, "k": snap.K})
+		writeJSON(w, http.StatusOK, map[string]any{"vertex": v, "partition": part, "version": snap.Version, "k": snap.K})
 	})
 	mux.HandleFunc("POST /mutate", func(w http.ResponseWriter, r *http.Request) {
 		mut, err := parseMutation(r.Body)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		if err := st.TrySubmit(mut); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
-		w.WriteHeader(http.StatusAccepted)
-		writeJSON(w, map[string]any{"queued": true,
+		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true,
 			"adds": len(mut.NewEdges), "removes": len(mut.RemovedEdges), "vertices": mut.NewVertices})
 	})
 	mux.HandleFunc("POST /resize", func(w http.ResponseWriter, r *http.Request) {
 		k, err := strconv.Atoi(r.URL.Query().Get("k"))
 		if err != nil || k < 1 {
-			http.Error(w, "bad k", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad k")
 			return
 		}
 		if k == st.K() {
-			http.Error(w, "k unchanged", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "k unchanged")
 			return
 		}
 		if err := st.Resize(k); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
-		w.WriteHeader(http.StatusAccepted)
-		writeJSON(w, map[string]any{"queued": true, "k": k})
+		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "k": k})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		snap := st.Snapshot()
@@ -245,19 +347,27 @@ func newMux(st *serve.Store) *http.ServeMux {
 			"total_weight":     snap.TotalWeight,
 			"cut_by_partition": snap.CutByPartition,
 			"shards":           snap.Shards,
+			"durable":          st.Durable(),
 			"counters":         st.Counters().Snapshot(),
 		}
 		if err := st.Err(); err != nil {
 			payload["last_error"] = err.Error()
 		}
-		writeJSON(w, payload)
+		writeJSON(w, http.StatusOK, payload)
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the JSON error shape every endpoint shares:
+// {"error": msg} with the status carrying the class.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
 }
 
 // parseMutation reads the /mutate line protocol.

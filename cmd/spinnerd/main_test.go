@@ -242,14 +242,113 @@ func TestHTTPErrorPathsLeaveStoreUntouched(t *testing.T) {
 // its counters.
 func TestDemoMode(t *testing.T) {
 	var sb strings.Builder
-	err := run(4, 1.05, 7, 2, 30, false, "", 800, "", 16, 1.05, 2, 300*time.Millisecond, &sb)
-	if err != nil {
+	dc := daemonConfig{k: 4, c: 1.05, seed: 7, workers: 2, maxIter: 30, synthetic: 800,
+		logDepth: 16, degrade: 1.05, shards: 2, demo: 300 * time.Millisecond, fsync: "interval"}
+	if err := run(dc, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	for _, want := range []string{"spinnerd: serving", "spinnerd demo:", "lookups", "snapshot v"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every error path must answer with the shared JSON error shape
+// {"error": msg}, not a plain-text body.
+func TestHTTPErrorBodiesAreJSON(t *testing.T) {
+	st := testStore(t, 4)
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+	cases := []struct {
+		method, path, body string
+	}{
+		{"GET", "/lookup?v=abc", ""},
+		{"GET", "/lookup?v=99999999", ""},
+		{"POST", "/mutate", "bogus 1 2\n"},
+		{"POST", "/resize?k=0", ""},
+		{"POST", "/resize?k=4", ""}, // unchanged k
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s %s: Content-Type %q", tc.method, tc.path, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil || body.Error == "" {
+			t.Fatalf("%s %s: error body not {\"error\": msg}: %v", tc.method, tc.path, err)
+		}
+	}
+}
+
+// A durable demo run must bootstrap a data dir; a second run over the
+// same dir must recover from it (ignoring the graph flags) and keep
+// serving.
+func TestDurableDemoBootstrapAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	dc := daemonConfig{k: 4, c: 1.05, seed: 7, workers: 2, maxIter: 30, synthetic: 800,
+		logDepth: 16, degrade: 1.05, shards: 2, demo: 200 * time.Millisecond,
+		dataDir: dir, fsync: "never", checkpointEvery: 8}
+
+	var first strings.Builder
+	if err := run(dc, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "durable in "+dir) {
+		t.Fatalf("first run did not bootstrap durably:\n%s", first.String())
+	}
+
+	var second strings.Builder
+	dc.synthetic = 0
+	dc.inPath = "/nonexistent/ignored-when-recovering"
+	if err := run(dc, &second); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	if !strings.Contains(out, "spinnerd: recovering from "+dir) {
+		t.Fatalf("second run did not recover:\n%s", out)
+	}
+	if !strings.Contains(out, "recovered 800 vertices") {
+		t.Fatalf("recovery lost the vertex space:\n%s", out)
+	}
+}
+
+// The /stats payload must expose the durability counters and flag.
+func TestHTTPStatsDurabilityFields(t *testing.T) {
+	st := testStore(t, 4)
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if durable, ok := stats["durable"].(bool); !ok || durable {
+		t.Fatalf("in-memory store durable flag = %v", stats["durable"])
+	}
+	ctr, ok := stats["counters"].(map[string]any)
+	if !ok {
+		t.Fatalf("counters missing: %v", stats)
+	}
+	for _, field := range []string{"JournalAppends", "JournalBytes", "JournalSyncs", "Checkpoints", "ReplayedRecords"} {
+		if _, ok := ctr[field]; !ok {
+			t.Fatalf("counters missing %s: %v", field, ctr)
 		}
 	}
 }

@@ -76,6 +76,22 @@ type ServeCounters struct {
 	// ShardRebalances counts shard-boundary recomputations that actually
 	// moved a boundary (piggybacked on the reconciliation pass).
 	ShardRebalances atomic.Int64
+
+	// Durability path (internal/wal; zero on in-memory stores).
+
+	// JournalAppends counts records durably framed into the write-ahead
+	// journal; JournalBytes totals their encoded size; JournalSyncs counts
+	// fsyncs issued under the configured policy.
+	JournalAppends atomic.Int64
+	JournalBytes   atomic.Int64
+	JournalSyncs   atomic.Int64
+	// Checkpoints counts snapshot checkpoints atomically installed;
+	// CheckpointBytes totals their payload size.
+	Checkpoints     atomic.Int64
+	CheckpointBytes atomic.Int64
+	// ReplayedRecords counts journal records re-applied during crash
+	// recovery (serve.Open) — the recovery replay length.
+	ReplayedRecords atomic.Int64
 }
 
 // ServeSnapshot is a plain-value copy of ServeCounters.
@@ -89,6 +105,9 @@ type ServeSnapshot struct {
 	ElasticResizes, ElasticSeedMoved        int64
 	ShardBatches, CutReconciles             int64
 	CutDrift, ShardRebalances               int64
+	JournalAppends, JournalBytes            int64
+	JournalSyncs, Checkpoints               int64
+	CheckpointBytes, ReplayedRecords        int64
 }
 
 // Snapshot copies every counter.
@@ -114,6 +133,12 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		CutReconciles:    c.CutReconciles.Load(),
 		CutDrift:         c.CutDrift.Load(),
 		ShardRebalances:  c.ShardRebalances.Load(),
+		JournalAppends:   c.JournalAppends.Load(),
+		JournalBytes:     c.JournalBytes.Load(),
+		JournalSyncs:     c.JournalSyncs.Load(),
+		Checkpoints:      c.Checkpoints.Load(),
+		CheckpointBytes:  c.CheckpointBytes.Load(),
+		ReplayedRecords:  c.ReplayedRecords.Load(),
 	}
 }
 
@@ -129,11 +154,13 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d)",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) ckpts=%d (%dB) replayed=%d",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
 		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
 		s.SnapshotSwaps, s.Restabilizations, s.MidRunSnapshots, s.RestabDiscarded,
 		s.MigratedVertices, s.MigratedWeight, s.ElasticResizes, s.ElasticSeedMoved,
-		s.CutReconciles, s.CutDrift, s.ShardRebalances)
+		s.CutReconciles, s.CutDrift, s.ShardRebalances,
+		s.JournalAppends, s.JournalBytes, s.JournalSyncs,
+		s.Checkpoints, s.CheckpointBytes, s.ReplayedRecords)
 }

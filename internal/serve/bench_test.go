@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/wal"
 )
 
 // BenchmarkServeLookupUnderChurn measures sustained lookup throughput
@@ -176,6 +177,102 @@ func BenchmarkServeMutateThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(batchEdges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkServeMutateDurable measures what durability costs the write
+// plane (recorded in BENCH_pr4.json): the same 256-edge add batches as
+// BenchmarkServeMutateThroughput against an in-memory store and against
+// journaled stores at each fsync policy. The journal append (binary
+// encode + CRC + one write syscall) rides the coordinator's pre-apply
+// path, so fsync=never is the pure framing overhead (the PR-4 gate holds
+// it under 2x the in-memory path); fsync=always adds a disk barrier per
+// batch and is the upper bound an acknowledged-durable configuration
+// pays. Periodic checkpoints are disabled so the numbers isolate the
+// journal; restabilization is off as in the PR-3 benchmark.
+func BenchmarkServeMutateDurable(b *testing.B) {
+	const n, batchEdges = 30000, 256
+	g := gen.WattsStrogatz(n, 10, 0.2, 41)
+	w := graph.Convert(g)
+	opts := core.DefaultOptions(8)
+	opts.Seed = 41
+	opts.MaxIterations = 30
+	p, err := core.NewPartitioner(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(4242)
+	batches := make([]*graph.Mutation, 64)
+	for i := range batches {
+		m := &graph.Mutation{NewEdges: make([]graph.WeightedEdgeRecord, 0, batchEdges)}
+		for len(m.NewEdges) < batchEdges {
+			u, v := graph.VertexID(src.Intn(n)), graph.VertexID(src.Intn(n))
+			if u != v {
+				m.NewEdges = append(m.NewEdges, graph.WeightedEdgeRecord{U: u, V: v, Weight: 2})
+			}
+		}
+		batches[i] = m
+	}
+
+	cases := []struct {
+		name    string
+		durable bool
+		fsync   wal.Policy
+	}{
+		{"inmem", false, 0},
+		{"fsync=never", true, wal.SyncNever},
+		{"fsync=interval", true, wal.SyncEvery},
+		{"fsync=always", true, wal.SyncAlways},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := Config{
+				Options:        opts,
+				Shards:         2,
+				DegradeFactor:  1e9, // isolate the write plane
+				MidRunOff:      true,
+				ReconcileEvery: -1,
+				LogDepth:       64,
+				Durability: DurabilityConfig{
+					Fsync:             tc.fsync,
+					CheckpointEvery:   -1, // isolate the journal from checkpoint cost
+					NoFinalCheckpoint: true,
+				},
+			}
+			var st *Store
+			var err error
+			if tc.durable {
+				st, err = NewDurable(b.TempDir(), w.Clone(), append([]int32(nil), res.Labels...), cfg)
+			} else {
+				st, err = New(w.Clone(), append([]int32(nil), res.Labels...), cfg)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Submit(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Quiesce(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batchEdges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+			c := st.Counters().Snapshot()
+			if tc.durable {
+				b.ReportMetric(float64(c.JournalBytes)/float64(b.N), "journalB/op")
+				b.ReportMetric(float64(c.JournalSyncs), "fsyncs")
+			}
 			if err := st.Close(); err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,661 @@
+package serve
+
+// Durability: the optional journal + checkpoint subsystem that lets a
+// Store survive process death without recomputing the partitioning from
+// scratch — the exact cost the paper's maintenance argument (§III-D) is
+// about avoiding. Three pieces compose:
+//
+//   - Journal (internal/wal): the coordinator durably appends every
+//     mutation batch and resize to a segmented CRC-framed log *before*
+//     applying it. The durability boundary is therefore pre-apply: no
+//     state a lookup has ever observed can be forgotten by a crash
+//     (entries still queued in the in-memory mutation log at crash time
+//     were never applied, never visible, and are dropped).
+//   - Checkpoints: every Durability.CheckpointEvery applied entries (and
+//     on graceful Close) the coordinator atomically persists its composed
+//     state — graph, labels, k, shard ranges, generation/epoch, the
+//     restabilization trigger state — under a shard barrier, prunes old
+//     checkpoints, and truncates journal segments below the oldest
+//     retained one.
+//   - Recovery (Open): load the latest valid checkpoint, rebuild the
+//     shards over the decoded state (verifying the composed cut counters
+//     bit-for-bit against an exact recompute), then replay the journal
+//     tail through the normal shard-broadcast apply path, quiescing after
+//     each record. A torn tail is truncated; mid-log corruption fails
+//     recovery loudly. A final exact reconcile pass verifies the
+//     recovered counters (metrics CutDrift stays 0).
+//
+// Determinism: replay re-applies the journaled entry sequence with a
+// quiesce between entries, so a store whose live history was itself a
+// quiesced submit/await sequence (the regime the package comment's
+// determinism contract covers) recovers labels, k, shard ranges and
+// integer cut counters bit-identical to the uninterrupted run. A store
+// crashed mid-churn recovers to *a* valid quiesced state reflecting every
+// journaled entry — the same guarantee any WAL database gives.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+	"slices"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/wal"
+)
+
+// DurabilityConfig tunes the journal + checkpoint subsystem used by
+// NewDurable, BootstrapDurable and Open. The zero value means: no
+// per-append fsync (wal.SyncNever), 4 MiB segments, a checkpoint every
+// 4096 applied entries, the 2 newest checkpoints retained, and a final
+// checkpoint on Close.
+type DurabilityConfig struct {
+	// Fsync selects when journal appends reach stable storage:
+	// wal.SyncNever (page cache; survives process crashes, not power
+	// loss), wal.SyncEvery (background interval), wal.SyncAlways (every
+	// record, the strongest and slowest).
+	Fsync wal.Policy
+	// FsyncInterval is the background fsync period under wal.SyncEvery.
+	// Default 50ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates journal segments past this size. Default 4 MiB.
+	SegmentBytes int64
+	// CheckpointEvery writes a checkpoint after this many applied entries.
+	// Default 4096; negative disables periodic checkpoints (the journal
+	// then grows until Close's final checkpoint truncates it).
+	CheckpointEvery int
+	// KeepCheckpoints retains this many newest checkpoints; the journal is
+	// truncated below the oldest retained one, so recovery still works if
+	// the newest checkpoint file is lost. Default 2.
+	KeepCheckpoints int
+	// NoFinalCheckpoint skips the checkpoint normally written during
+	// Close, leaving recovery to replay the journal tail — faster
+	// shutdown, slower next Open. (The crash-recovery tests use it to
+	// exercise replay.)
+	NoFinalCheckpoint bool
+}
+
+func (d *DurabilityConfig) normalize() {
+	if d.CheckpointEvery == 0 {
+		d.CheckpointEvery = 4096
+	}
+	if d.KeepCheckpoints < 1 {
+		d.KeepCheckpoints = 2
+	}
+}
+
+// durable is the coordinator-owned durability state. Between Open's
+// attach handshake and Close, only the coordinator goroutine touches it.
+type durable struct {
+	dir         string
+	cfg         DurabilityConfig
+	jrn         *wal.Journal
+	active      bool   // journaling live (false while Open replays)
+	lastSeq     uint64 // sequence of the last journaled record
+	ckptApplied int64  // applied count at the last checkpoint
+}
+
+// attachReq hands Open's freshly opened journal to the coordinator
+// through the ordered log, so journaling activates only after every
+// replayed entry was applied and without racing coordinator reads.
+type attachReq struct {
+	jrn     *wal.Journal
+	lastSeq uint64
+	reply   chan error
+}
+
+func journalDir(dir string) string { return filepath.Join(dir, "journal") }
+func ckptDir(dir string) string    { return filepath.Join(dir, "checkpoints") }
+
+func (d *durable) walOptions(ctr *metrics.ServeCounters) wal.Options {
+	return wal.Options{
+		SegmentBytes:   d.cfg.SegmentBytes,
+		Sync:           d.cfg.Fsync,
+		SyncInterval:   d.cfg.FsyncInterval,
+		AppendsCounter: &ctr.JournalAppends,
+		BytesCounter:   &ctr.JournalBytes,
+		SyncsCounter:   &ctr.JournalSyncs,
+	}
+}
+
+// HasState reports whether dir holds a recoverable store (at least one
+// checkpoint) — the "open or bootstrap?" decision drivers make at start.
+func HasState(dir string) bool {
+	seqs, err := wal.Checkpoints(ckptDir(dir))
+	return err == nil && len(seqs) > 0
+}
+
+// NewDurable is New plus durability: it writes an initial checkpoint of
+// the starting state into dir, opens the journal, and returns a Store
+// that journals every accepted entry before applying it. dir must not
+// already hold store state (use Open to recover).
+func NewDurable(dir string, w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cfg.Durability.normalize()
+	if HasState(dir) {
+		return nil, fmt.Errorf("serve: %s already holds store state; use Open to recover it", dir)
+	}
+	s, err := newStore(w, labels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.d = &durable{dir: dir, cfg: cfg.Durability}
+	// Initial checkpoint at sequence 0: recovery of an empty journal must
+	// reproduce exactly the construction-time state.
+	if err := s.checkpointNow(); err != nil {
+		return nil, err
+	}
+	jrn, err := wal.Open(journalDir(dir), 1, s.d.walOptions(&s.ctr))
+	if err != nil {
+		return nil, err
+	}
+	s.d.jrn = jrn
+	s.d.active = true
+	s.start()
+	return s, nil
+}
+
+// BootstrapDurable partitions g from scratch and starts a durable Store
+// over the result — the one-call path for drivers with a -data-dir.
+func BootstrapDurable(dir string, g *graph.Graph, cfg Config) (*Store, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	w := graph.Convert(g)
+	p, err := core.NewPartitioner(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		return nil, err
+	}
+	return NewDurable(dir, w, res.Labels, cfg)
+}
+
+// Open recovers a Store from dir: it loads the latest valid checkpoint,
+// rebuilds the shards over it, replays the journal tail through the
+// normal apply path (quiescing after each record, so quiesced histories
+// recover bit-identically — see the durability comment above), verifies
+// the cut counters with an exact reconcile, and resumes journaling new
+// entries. Returns wal.ErrNoCheckpoint (wrapped) when dir holds no state.
+//
+// Batches that were rejected live re-reject identically during replay;
+// such errors are observable via Err, as they were, and do not fail
+// recovery. Journal or checkpoint corruption does.
+func Open(dir string, cfg Config) (*Store, error) {
+	seq, payload, err := wal.LatestCheckpoint(ckptDir(dir))
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening %s: %w", dir, err)
+	}
+	st, err := decodeCheckpoint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %d in %s: %w", seq, dir, err)
+	}
+	if st.seq != seq {
+		return nil, fmt.Errorf("serve: checkpoint file %d declares inner seq %d", seq, st.seq)
+	}
+	if cfg.Shards == 0 {
+		// Default to the checkpointed layout: recovery restores the shard
+		// ranges bit-identically unless the caller asks for a new count.
+		cfg.Shards = len(st.bounds) - 1
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cfg.Durability.normalize()
+	s, err := newStoreFromCheckpoint(st, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %d in %s: %w", seq, dir, err)
+	}
+	s.d = &durable{dir: dir, cfg: cfg.Durability}
+	s.start()
+
+	// Settle before replaying: a checkpoint can capture a pending or
+	// in-flight restabilization (folded into wantRestab). In a quiesced
+	// history that run merged before the next entry was accepted, so the
+	// replayed entries must likewise observe the merged state — quiescing
+	// here re-runs it from the same graph, epoch and generation.
+	_ = s.Quiesce()
+	next, err := wal.Replay(journalDir(dir), seq, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecordMutation:
+			if err := s.Submit(rec.Mut); err != nil {
+				return err
+			}
+		case wal.RecordResize:
+			if err := s.Resize(rec.NewK); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("serve: replaying unknown record type %d", rec.Type)
+		}
+		s.ctr.ReplayedRecords.Add(1)
+		// Quiesce between records: replay reproduces the quiesced apply
+		// order, and batch-application errors (deterministic re-rejections
+		// of batches rejected live) stay observable without failing
+		// recovery.
+		_ = s.Quiesce()
+		return nil
+	})
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("serve: replaying journal in %s: %w", dir, err)
+	}
+	jrn, err := wal.Open(journalDir(dir), next, s.d.walOptions(&s.ctr))
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.control(logEntry{attach: &attachReq{jrn: jrn, lastSeq: next - 1, reply: make(chan error, 1)}}); err != nil {
+		jrn.Close()
+		s.Close()
+		return nil, err
+	}
+	// Post-recovery reconcile: every shard recomputes its counters exactly
+	// inside the barrier; a mismatch with the incremental values recovered
+	// from checkpoint+replay would surface as CutDrift (it must stay 0).
+	if err := s.control(logEntry{reconcile: make(chan error, 1)}); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// control sends one coordinator-control entry through the ordered log and
+// waits for its reply.
+func (s *Store) control(e logEntry) error {
+	var reply chan error
+	switch {
+	case e.attach != nil:
+		reply = e.attach.reply
+	case e.reconcile != nil:
+		reply = e.reconcile
+	}
+	select {
+	case s.log <- e:
+	case <-s.closed:
+		return ErrClosed
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Durable reports whether the store journals and checkpoints to disk.
+func (s *Store) Durable() bool { return s.d != nil }
+
+// journalMutation durably records m before it is applied. A failed append
+// rejects the batch (counted, error recorded, graph untouched): applying
+// an unjournaled batch would let a crash forget state lookups had seen.
+// Returns false when the batch must be dropped.
+func (s *Store) journalMutation(m *graph.Mutation) bool {
+	if s.d == nil || !s.d.active {
+		return true
+	}
+	seq, _, err := s.d.jrn.AppendMutation(m)
+	if err != nil {
+		err = fmt.Errorf("serve: journal append: %w", err)
+		s.lastErr.Store(&err)
+		s.ctr.BatchesRejected.Add(1)
+		s.applied.Add(1) // resolved, though rejected
+		return false
+	}
+	s.d.lastSeq = seq
+	return true
+}
+
+// journalResize durably records an elastic resize before it relabels.
+func (s *Store) journalResize(newK int) bool {
+	if s.d == nil || !s.d.active {
+		return true
+	}
+	seq, _, err := s.d.jrn.AppendResize(newK)
+	if err != nil {
+		err = fmt.Errorf("serve: journal append: %w", err)
+		s.lastErr.Store(&err)
+		return false
+	}
+	s.d.lastSeq = seq
+	return true
+}
+
+// maybeCheckpoint runs the periodic checkpoint: every CheckpointEvery
+// applied entries, persist the composed state under a barrier, prune old
+// checkpoints and truncate the journal below the oldest retained one.
+func (s *Store) maybeCheckpoint() {
+	if s.d == nil || !s.d.active || s.d.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	if s.applied.Load()-s.d.ckptApplied < int64(s.d.cfg.CheckpointEvery) {
+		return
+	}
+	s.withBarrier(func() {
+		if err := s.checkpointNow(); err != nil {
+			err = fmt.Errorf("serve: checkpoint: %w", err)
+			s.lastErr.Store(&err)
+		}
+	})
+}
+
+// checkpointNow writes a checkpoint of the coordinator-owned state and
+// reclaims journal space. The caller must hold exclusive access to the
+// state: under a barrier, before start, or after drainAndExit stopped the
+// shards. Checkpoint failures leave the store serving and journaling —
+// recovery just replays a longer tail.
+func (s *Store) checkpointNow() error {
+	seq := s.d.lastSeq
+	payload := s.encodeCheckpoint(seq)
+	if err := wal.WriteCheckpoint(ckptDir(s.d.dir), seq, payload); err != nil {
+		return err
+	}
+	s.ctr.Checkpoints.Add(1)
+	s.ctr.CheckpointBytes.Add(int64(len(payload)))
+	s.d.ckptApplied = s.applied.Load()
+	oldest, err := wal.PruneCheckpoints(ckptDir(s.d.dir), s.d.cfg.KeepCheckpoints)
+	if err != nil {
+		return err
+	}
+	if s.d.jrn != nil {
+		if _, err := s.d.jrn.TruncateBelow(oldest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishDurable runs during drainAndExit, after the shards stopped: the
+// graceful-shutdown final checkpoint (unless disabled) and journal close.
+func (s *Store) finishDurable() {
+	if s.d == nil {
+		return
+	}
+	if s.d.active && !s.d.cfg.NoFinalCheckpoint {
+		if err := s.checkpointNow(); err != nil {
+			err = fmt.Errorf("serve: final checkpoint: %w", err)
+			s.lastErr.Store(&err)
+		}
+	}
+	if s.d.jrn != nil {
+		if err := s.d.jrn.Close(); err != nil && s.d.active {
+			err = fmt.Errorf("serve: closing journal: %w", err)
+			s.lastErr.Store(&err)
+		}
+	}
+}
+
+// Checkpoint payload layout (all little-endian; the file header, CRC and
+// covering sequence live in internal/wal):
+//
+//	u16 version | u64 seq | u64 applied | i64 appliedAtRestab
+//	i64 lastReconcile | u64 gen | u64 epoch | f64 baseline | u8 flags
+//	u32 k | u32 shards | (shards+1) × u64 bounds
+//	u32 n | n × u32 labels
+//	i64 cross | i64 total   (composed counters, verified on recovery)
+//	u32 affected | affected × u32 vertex
+//	graph (graph.Weighted).EncodeBinary
+const ckptVersion = 1
+
+const flagWantRestab = 1 << 0
+
+// encodeCheckpoint serializes the coordinator-owned state. An in-flight
+// restabilization cannot be captured (it lives in a background clone), so
+// it is folded into the wantRestab flag: recovery re-runs it from the
+// same graph, epoch and generation, which reproduces the same labels.
+func (s *Store) encodeCheckpoint(seq uint64) []byte {
+	var cross, total int64
+	for _, sh := range s.shards {
+		cross += sh.cross
+		total += sh.total
+	}
+	buf := make([]byte, 0, 64+4*len(s.labels)+16*len(s.bounds))
+	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.applied.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.appliedAtRestab))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.lastReconcile))
+	buf = binary.LittleEndian.AppendUint64(buf, s.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, s.epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.baseline))
+	var flags byte
+	if s.wantRestab || s.inflight {
+		flags |= flagWantRestab
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.shards)))
+	for _, b := range s.bounds {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.labels)))
+	for _, l := range s.labels {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cross))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(total))
+	affected := make([]graph.VertexID, 0, len(s.affected))
+	for v := range s.affected {
+		affected = append(affected, v)
+	}
+	slices.Sort(affected)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(affected)))
+	for _, v := range affected {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	var gb bytes.Buffer
+	gb.Grow(int(16*s.w.NumEdges()) + 4*s.w.NumVertices() + 32)
+	// bytes.Buffer writes cannot fail.
+	_ = s.w.EncodeBinary(&gb)
+	return append(buf, gb.Bytes()...)
+}
+
+// ckptState is the decoded checkpoint payload.
+type ckptState struct {
+	seq             uint64
+	applied         int64
+	appliedAtRestab int64
+	lastReconcile   int64
+	gen, epoch      uint64
+	baseline        float64
+	wantRestab      bool
+	k               int
+	bounds          []int
+	labels          []int32
+	cross, total    int64
+	affected        []graph.VertexID
+	w               *graph.Weighted
+}
+
+type ckptReader struct {
+	b   []byte
+	err error
+}
+
+func (r *ckptReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("truncated payload (%d bytes left, need %d)", len(r.b), n)
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *ckptReader) u16() uint16 {
+	if b := r.take(2); r.err == nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *ckptReader) u32() uint32 {
+	if b := r.take(4); r.err == nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *ckptReader) u64() uint64 {
+	if b := r.take(8); r.err == nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func decodeCheckpoint(payload []byte) (*ckptState, error) {
+	r := &ckptReader{b: payload}
+	if v := r.u16(); r.err == nil && v != ckptVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", v, ckptVersion)
+	}
+	st := &ckptState{}
+	st.seq = r.u64()
+	st.applied = int64(r.u64())
+	st.appliedAtRestab = int64(r.u64())
+	st.lastReconcile = int64(r.u64())
+	st.gen = r.u64()
+	st.epoch = r.u64()
+	st.baseline = math.Float64frombits(r.u64())
+	flags := r.take(1)
+	if r.err == nil {
+		st.wantRestab = flags[0]&flagWantRestab != 0
+	}
+	st.k = int(int32(r.u32()))
+	nShards := int(r.u32())
+	if r.err == nil && (nShards < 1 || nShards > 1<<20) {
+		return nil, fmt.Errorf("checkpoint declares %d shards", nShards)
+	}
+	if r.err == nil {
+		st.bounds = make([]int, nShards+1)
+		for i := range st.bounds {
+			st.bounds[i] = int(r.u64())
+		}
+	}
+	nLabels := int(r.u32())
+	if r.err == nil && (nLabels < 0 || nLabels > graph.MaxVertices) {
+		return nil, fmt.Errorf("checkpoint declares %d labels", nLabels)
+	}
+	if r.err == nil {
+		if raw := r.take(4 * nLabels); r.err == nil {
+			st.labels = make([]int32, nLabels)
+			for i := range st.labels {
+				st.labels[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+			}
+		}
+	}
+	st.cross = int64(r.u64())
+	st.total = int64(r.u64())
+	nAffected := int(r.u32())
+	if r.err == nil && (nAffected < 0 || nAffected > nLabels) {
+		return nil, fmt.Errorf("checkpoint declares %d affected vertices for %d labels", nAffected, nLabels)
+	}
+	if r.err == nil && nAffected > 0 {
+		if raw := r.take(4 * nAffected); r.err == nil {
+			st.affected = make([]graph.VertexID, nAffected)
+			for i := range st.affected {
+				st.affected[i] = graph.VertexID(binary.LittleEndian.Uint32(raw[4*i:]))
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	w, err := graph.DecodeWeightedBinary(bytes.NewReader(r.b))
+	if err != nil {
+		return nil, err
+	}
+	st.w = w
+	return st, nil
+}
+
+// newStoreFromCheckpoint rebuilds the coordinator state a checkpoint
+// captured. The stored shard ranges are restored when cfg asks for the
+// same shard count (the bit-identical recovery contract); a different
+// cfg.Shards is honored with freshly balanced ranges. The per-shard cut
+// counters are recomputed exactly and verified against the stored
+// composed totals — a mismatch means the checkpoint is inconsistent.
+func newStoreFromCheckpoint(st *ckptState, cfg Config) (*Store, error) {
+	n := st.w.NumVertices()
+	if len(st.labels) != n {
+		return nil, fmt.Errorf("%d labels for %d vertices", len(st.labels), n)
+	}
+	if st.k < 1 {
+		return nil, fmt.Errorf("k=%d", st.k)
+	}
+	if err := metrics.ValidateLabels(st.labels, st.k); err != nil {
+		return nil, err
+	}
+	storedShards := len(st.bounds) - 1
+	if st.bounds[0] != 0 || st.bounds[storedShards] != n || !slices.IsSorted(st.bounds) {
+		return nil, fmt.Errorf("shard bounds %v do not tile %d vertices", st.bounds, n)
+	}
+	if cfg.Shards > n {
+		cfg.Shards = max(1, n)
+	}
+	s := &Store{
+		cfg:             cfg,
+		log:             make(chan logEntry, cfg.LogDepth),
+		batchDone:       make(chan struct{}, 1),
+		closed:          make(chan struct{}),
+		done:            make(chan struct{}),
+		w:               st.w,
+		labels:          st.labels,
+		k:               st.k,
+		gen:             st.gen,
+		epoch:           st.epoch,
+		baseline:        st.baseline,
+		wantRestab:      st.wantRestab,
+		appliedAtRestab: st.appliedAtRestab,
+		lastReconcile:   st.lastReconcile,
+		affected:        make(map[graph.VertexID]struct{}, len(st.affected)),
+		restabDone:      make(chan restabResult, 1),
+		midrun:          make(chan midrunNote, 1),
+	}
+	for _, v := range st.affected {
+		s.affected[v] = struct{}{}
+	}
+	s.applied.Store(st.applied)
+	s.submitted.Store(st.applied)
+	switch {
+	case cfg.Shards == storedShards:
+		s.bounds = append([]int(nil), st.bounds...)
+	case n == 0:
+		s.bounds = []int{0, 0}
+	default:
+		s.bounds = cluster.BalancedRanges(st.w, cfg.Shards)
+	}
+	var cross, total int64
+	for i := 0; i < len(s.bounds)-1; i++ {
+		sh := &shard{
+			st: s, id: i,
+			log:  make(chan shardEntry, cfg.ShardLogDepth),
+			done: make(chan struct{}),
+			w:    st.w, labels: st.labels,
+			lo: s.bounds[i], hi: s.bounds[i+1],
+			k: s.k, epoch: s.epoch,
+		}
+		sh.cross, sh.total, sh.perPart = metrics.CutWeightsRange(st.w, st.labels, s.k, sh.lo, sh.hi)
+		cross += sh.cross
+		total += sh.total
+		sh.publishFresh()
+		s.shards = append(s.shards, sh)
+	}
+	if cross != st.cross || total != st.total {
+		return nil, fmt.Errorf("recomputed cut counters (cut=%d,total=%d) disagree with checkpoint (cut=%d,total=%d)",
+			cross, total, st.cross, st.total)
+	}
+	s.publishRouter()
+	return s, nil
+}

@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// durableCfg is the store configuration the recovery tests share: small
+// checkpoint cadence so a mid-sequence checkpoint + journal tail both
+// exist, NoFinalCheckpoint so Close simulates a crash (the journal tail
+// must carry the recovery), and the same partitioner seed everywhere so
+// quiesced histories are deterministic.
+func durableCfg(shards, checkpointEvery int) Config {
+	return Config{
+		Options:       storeOpts(2, 9),
+		Shards:        shards,
+		DegradeFactor: 1.05,
+		Durability: DurabilityConfig{
+			CheckpointEvery:   checkpointEvery,
+			NoFinalCheckpoint: true,
+			SegmentBytes:      1 << 10,
+		},
+	}
+}
+
+// scriptedEntry drives the same entry sequence as
+// TestShardCountDoesNotChangeLabels: growth at step 2, steady edge
+// additions otherwise, one elastic resize at the end.
+func scriptedMutation(step int) *graph.Mutation {
+	mut := &graph.Mutation{}
+	if step == 2 {
+		mut.NewVertices = 5
+		for i := 0; i < 5; i++ {
+			mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+				U: graph.VertexID(100 + i), V: graph.VertexID(i), Weight: 2})
+		}
+	}
+	for i := 0; i < 20; i++ {
+		mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
+			U: graph.VertexID((i + 13*step) % 50), V: graph.VertexID(50 + (i*3+step)%50), Weight: 2})
+	}
+	return mut
+}
+
+func runScript(t *testing.T, st *Store) {
+	t.Helper()
+	for step := 0; step < 6; step++ {
+		if err := st.Submit(scriptedMutation(step)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func requireSameState(t *testing.T, name string, got, want *Store) {
+	t.Helper()
+	gs, ws := got.Snapshot(), want.Snapshot()
+	if gs.K != ws.K || len(gs.Labels) != len(ws.Labels) {
+		t.Fatalf("%s: k=%d with %d labels, want k=%d with %d labels", name, gs.K, len(gs.Labels), ws.K, len(ws.Labels))
+	}
+	for v := range ws.Labels {
+		if gs.Labels[v] != ws.Labels[v] {
+			t.Fatalf("%s: label of vertex %d = %d, want %d", name, v, gs.Labels[v], ws.Labels[v])
+		}
+	}
+	if gs.CutWeight != ws.CutWeight || gs.TotalWeight != ws.TotalWeight {
+		t.Fatalf("%s: counters (cut=%d,total=%d), want (cut=%d,total=%d)",
+			name, gs.CutWeight, gs.TotalWeight, ws.CutWeight, ws.TotalWeight)
+	}
+	for l := range ws.CutByPartition {
+		if gs.CutByPartition[l] != ws.CutByPartition[l] {
+			t.Fatalf("%s: CutByPartition[%d] = %d, want %d", name, l, gs.CutByPartition[l], ws.CutByPartition[l])
+		}
+	}
+	gb, wb := got.router.Load().bounds, want.router.Load().bounds
+	if len(gb) != len(wb) {
+		t.Fatalf("%s: %d shard bounds, want %d", name, len(gb), len(wb))
+	}
+	for i := range wb {
+		if gb[i] != wb[i] {
+			t.Fatalf("%s: shard bounds %v, want %v", name, gb, wb)
+		}
+	}
+	if gs.AppliedBatches != ws.AppliedBatches {
+		t.Fatalf("%s: applied %d, want %d", name, gs.AppliedBatches, ws.AppliedBatches)
+	}
+}
+
+// The acceptance property: checkpoint + journal replay reproduces labels,
+// k, shard ranges and integer cut counters bit-identical to the
+// uninterrupted store, at one and several shards — and the post-recovery
+// exact reconcile finds zero drift.
+func TestDurableRecoveryBitIdentical(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			// Uninterrupted in-memory reference.
+			w, labels := twoClusters(50)
+			ref, err := New(w, append([]int32(nil), labels...), Config{
+				Options: storeOpts(2, 9), Shards: shards, DegradeFactor: 1.05,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			runScript(t, ref)
+
+			// Durable run over the same script, "crashed" at the end:
+			// NoFinalCheckpoint leaves the tail only in the journal.
+			dir := t.TempDir()
+			w2, labels2 := twoClusters(50)
+			st, err := NewDurable(dir, w2, append([]int32(nil), labels2...), durableCfg(shards, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runScript(t, st)
+			requireSameState(t, "durable-vs-inmemory", st, ref)
+			preCrash := st.Counters().Snapshot()
+			if preCrash.Checkpoints < 2 {
+				t.Fatalf("only %d periodic checkpoints; the test must exercise checkpoint+tail, not tail-only", preCrash.Checkpoints)
+			}
+			if preCrash.JournalAppends != 7 {
+				t.Fatalf("journaled %d records, want 7 (6 batches + 1 resize)", preCrash.JournalAppends)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Recover and require bit-identical state.
+			rec, err := Open(dir, durableCfg(shards, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			if err := rec.Quiesce(); err != nil && !strings.Contains(err.Error(), "absent edge") {
+				t.Fatal(err)
+			}
+			requireSameState(t, "recovered", rec, ref)
+			c := rec.Counters().Snapshot()
+			if c.ReplayedRecords == 0 {
+				t.Fatal("recovery replayed nothing; the journal tail was not exercised")
+			}
+			if c.CutReconciles == 0 {
+				t.Fatal("post-recovery reconcile did not run")
+			}
+			if c.CutDrift != 0 {
+				t.Fatalf("post-recovery reconcile repaired drift %d times; recovered counters must be exact", c.CutDrift)
+			}
+			// And the recovered store keeps working: one more quiesced step
+			// must match the reference continuing the same script.
+			if err := rec.Submit(scriptedMutation(7)); err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Submit(scriptedMutation(7)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+			requireSameState(t, "post-recovery-continuation", rec, ref)
+		})
+	}
+}
+
+// A graceful Close writes a final checkpoint, so reopening replays
+// nothing and still lands on the identical state.
+func TestDurableGracefulReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, labels := twoClusters(50)
+	cfg := durableCfg(2, -1) // no periodic checkpoints: Close's final one carries everything
+	cfg.Durability.NoFinalCheckpoint = false
+	st, err := NewDurable(dir, w, append([]int32(nil), labels...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, st)
+	want := st.Snapshot()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	c := rec.Counters().Snapshot()
+	if c.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d records past a final checkpoint", c.ReplayedRecords)
+	}
+	got := rec.Snapshot()
+	if got.K != want.K || got.CutWeight != want.CutWeight || got.TotalWeight != want.TotalWeight {
+		t.Fatalf("reopened state %+v, want %+v", got, want)
+	}
+	for v := range want.Labels {
+		if got.Labels[v] != want.Labels[v] {
+			t.Fatalf("label of %d = %d, want %d", v, got.Labels[v], want.Labels[v])
+		}
+	}
+}
+
+// A torn final record — the classic crash shape — must be dropped by
+// recovery, landing exactly on the state before the torn batch.
+func TestDurableTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w, labels := twoClusters(50)
+	cfg := durableCfg(2, -1)
+	st, err := NewDurable(dir, w, append([]int32(nil), labels...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, labels2 := twoClusters(50)
+	ref, err := New(w2, append([]int32(nil), labels2...), Config{
+		Options: storeOpts(2, 9), Shards: 2, DegradeFactor: 1.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	// Reference applies steps 0..4; the durable store also applies step 5,
+	// whose journal record we then tear.
+	for step := 0; step < 6; step++ {
+		if err := st.Submit(scriptedMutation(step)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+		if step < 5 {
+			if err := ref.Submit(scriptedMutation(step)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "journal", "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no journal segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("torn tail must not fail recovery: %v", err)
+	}
+	defer rec.Close()
+	if err := rec.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, "torn-tail", rec, ref)
+	if c := rec.Counters().Snapshot(); c.ReplayedRecords != 5 || c.CutDrift != 0 {
+		t.Fatalf("replayed %d records (drift %d), want 5 (0)", c.ReplayedRecords, c.CutDrift)
+	}
+}
+
+// Damage before the tail is corruption: recovery must refuse rather than
+// silently drop acknowledged mutations.
+func TestDurableMidLogCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, labels := twoClusters(50)
+	cfg := durableCfg(1, -1)
+	cfg.Durability.SegmentBytes = 256 // force several segments
+	st, err := NewDurable(dir, w, append([]int32(nil), labels...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "journal", "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("need several segments, have %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, cfg); err == nil {
+		t.Fatal("mid-log corruption recovered silently")
+	}
+}
+
+func TestOpenWithoutState(t *testing.T) {
+	dir := t.TempDir()
+	if HasState(dir) {
+		t.Fatal("empty dir reports state")
+	}
+	if _, err := Open(dir, durableCfg(1, -1)); !errors.Is(err, wal.ErrNoCheckpoint) {
+		t.Fatalf("Open of empty dir: %v", err)
+	}
+}
+
+func TestNewDurableRefusesExistingState(t *testing.T) {
+	dir := t.TempDir()
+	w, labels := twoClusters(20)
+	st, err := NewDurable(dir, w, append([]int32(nil), labels...), durableCfg(1, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Durable() {
+		t.Fatal("durable store reports in-memory")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !HasState(dir) {
+		t.Fatal("dir with checkpoints reports no state")
+	}
+	w2, labels2 := twoClusters(20)
+	if _, err := NewDurable(dir, w2, labels2, durableCfg(1, -1)); err == nil {
+		t.Fatal("NewDurable clobbered an existing data dir")
+	}
+}
+
+// Aggressive checkpointing must prune checkpoints to the retention limit
+// and reclaim journal segments — and the surviving checkpoint + tail must
+// still recover a state bit-identical to an uninterrupted run.
+func TestDurableCheckpointTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	w, labels := twoClusters(50)
+	cfg := durableCfg(1, 2)
+	cfg.Durability.SegmentBytes = 512
+	st, err := NewDurable(dir, w, append([]int32(nil), labels...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, labels2 := twoClusters(50)
+	ref, err := New(w2, append([]int32(nil), labels2...), Config{
+		Options: storeOpts(2, 9), Shards: 1, DegradeFactor: 1.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for step := 0; step < 20; step++ {
+		for _, target := range []*Store{st, ref} {
+			if err := target.Submit(scriptedMutation(step % 6)); err != nil {
+				t.Fatal(err)
+			}
+			if err := target.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c := st.Counters().Snapshot()
+	if c.Checkpoints < 5 {
+		t.Fatalf("only %d checkpoints after 20 quiesced batches at cadence 2", c.Checkpoints)
+	}
+	ckpts, err := wal.Checkpoints(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != 2 {
+		t.Fatalf("%d checkpoints retained, want 2", len(ckpts))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if err := rec.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, "truncated-journal", rec, ref)
+}

@@ -106,6 +106,10 @@ type Config struct {
 	// disables (the incremental integer deltas are exact, so this is a
 	// safety net and a rebalance point, not a correctness requirement).
 	ReconcileEvery int
+	// Durability tunes the journal + checkpoint subsystem. Only the
+	// durable constructors (NewDurable, BootstrapDurable, Open) read it;
+	// New and Bootstrap build in-memory stores regardless.
+	Durability DurabilityConfig
 }
 
 func (c *Config) normalize() error {
@@ -190,11 +194,14 @@ func (s *Snapshot) Lookup(v graph.VertexID) (int32, bool) {
 }
 
 // logEntry is one unit of maintenance work: a mutation batch, an elastic
-// resize, or a quiesce sentinel.
+// resize, a quiesce sentinel, or a recovery-control message (journal
+// attach / forced reconcile), all ordered through the same log.
 type logEntry struct {
-	mut     *graph.Mutation
-	newK    int        // >0: elastic resize
-	quiesce chan error // non-nil: reply when drained and stable
+	mut       *graph.Mutation
+	newK      int        // >0: elastic resize
+	quiesce   chan error // non-nil: reply when drained and stable
+	attach    *attachReq // non-nil: adopt the journal after replay
+	reconcile chan error // non-nil: run the exact pass now and reply
 }
 
 // restabResult carries a completed background run back to the loop.
@@ -251,6 +258,7 @@ type Store struct {
 	restabDone      chan restabResult
 	midrun          chan midrunNote // capacity 1; latest-wins mailbox
 	quiescers       []chan error
+	d               *durable // nil on in-memory stores
 }
 
 // New builds a Store over an already-partitioned weighted graph. The Store
@@ -261,6 +269,18 @@ func New(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	s, err := newStore(w, labels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// newStore builds the store and its shards without starting the
+// goroutines, so the durable constructors can checkpoint or restore state
+// while they still own it exclusively. cfg must already be normalized.
+func newStore(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 	if len(labels) != w.NumVertices() {
 		return nil, fmt.Errorf("serve: %d labels for %d vertices", len(labels), w.NumVertices())
 	}
@@ -303,11 +323,15 @@ func New(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 	}
 	s.publishRouter()
 	s.baseline = s.ownedCut()
+	return s, nil
+}
+
+// start launches the shard and coordinator goroutines.
+func (s *Store) start() {
 	for _, sh := range s.shards {
 		go sh.run()
 	}
 	go s.loop()
-	return s, nil
 }
 
 // Bootstrap partitions g from scratch and starts a Store over the result —
@@ -599,7 +623,16 @@ func (s *Store) currentCut() float64 {
 // resumes the shards. Entries forwarded before the barrier are guaranteed
 // applied when fn runs (shard logs are FIFO).
 func (s *Store) withBarrier(fn func()) {
-	b := &barrier{ack: make(chan struct{}, len(s.shards)), resume: make(chan struct{})}
+	s.withBarrierWork(nil, fn)
+}
+
+// withBarrierWork is withBarrier with a parallel pre-step: each shard
+// goroutine runs work(sh) before acking, so per-shard computations (the
+// exact reconcile pass) fan out across the shards instead of serializing
+// on the coordinator. work may touch only the shard's own state and rows
+// and barrier-frozen shared state (labels never change outside barriers).
+func (s *Store) withBarrierWork(work func(*shard), fn func()) {
+	b := &barrier{ack: make(chan struct{}, len(s.shards)), resume: make(chan struct{}), work: work}
 	for _, sh := range s.shards {
 		sh.log <- shardEntry{barrier: b}
 	}
@@ -634,6 +667,7 @@ func (s *Store) loop() {
 	defer close(s.done)
 	for {
 		s.maybeReconcile()
+		s.maybeCheckpoint()
 		s.maybeRestabilize()
 		s.maybeReleaseQuiescers()
 		select {
@@ -666,11 +700,17 @@ func (s *Store) drainAndExit() {
 	for _, sh := range s.shards {
 		<-sh.done
 	}
+	s.finishDurable()
 	for {
 		select {
 		case e := <-s.log:
-			if e.quiesce != nil {
+			switch {
+			case e.quiesce != nil:
 				e.quiesce <- ErrClosed
+			case e.attach != nil:
+				e.attach.reply <- ErrClosed
+			case e.reconcile != nil:
+				e.reconcile <- ErrClosed
 			}
 		default:
 			for _, q := range s.quiescers {
@@ -681,14 +721,31 @@ func (s *Store) drainAndExit() {
 	}
 }
 
-// handle processes one log entry.
+// handle processes one log entry. Mutations and resizes are journaled
+// before they are applied (no-ops on in-memory stores), so nothing a
+// lookup can observe is ever lost to a crash.
 func (s *Store) handle(e logEntry) {
 	switch {
 	case e.quiesce != nil:
 		s.quiescers = append(s.quiescers, e.quiesce)
+	case e.attach != nil:
+		s.d.jrn = e.attach.jrn
+		s.d.lastSeq = e.attach.lastSeq
+		s.d.ckptApplied = s.applied.Load()
+		s.d.active = true
+		e.attach.reply <- nil
+	case e.reconcile != nil:
+		s.reconcile(false)
+		e.reconcile <- nil
 	case e.newK > 0:
+		if !s.journalResize(e.newK) {
+			return
+		}
 		s.resize(e.newK)
 	default:
+		if !s.journalMutation(e.mut) {
+			return
+		}
 		s.handleBatch(e.mut)
 	}
 }
@@ -1006,10 +1063,8 @@ func (s *Store) merge(res restabResult) {
 	})
 }
 
-// maybeReconcile runs the periodic exact pass: every ReconcileEvery
-// resolved batches, recompute each shard's counters from its owned edges
-// (they must match the incremental values bit-for-bit) and rebalance the
-// shard boundaries by weighted degree.
+// maybeReconcile runs the periodic exact pass every ReconcileEvery
+// resolved batches.
 func (s *Store) maybeReconcile() {
 	if s.cfg.ReconcileEvery <= 0 {
 		return
@@ -1017,32 +1072,59 @@ func (s *Store) maybeReconcile() {
 	if s.applied.Load()-s.lastReconcile < int64(s.cfg.ReconcileEvery) {
 		return
 	}
+	s.reconcile(true)
+}
+
+// reconcile is the exact pass: every shard recomputes the counters of its
+// owned edges from its own rows in parallel, inside the barrier's work
+// step (the recompute reads only the shard's rows and the barrier-frozen
+// labels, so the shards race nothing); the coordinator then verifies them
+// against the incremental values bit-for-bit and, on the periodic path,
+// rebalances the shard boundaries by weighted degree. Open runs it once
+// after replay with rebalance=false: a recovered store proves its
+// counters before serving without disturbing the recovered shard ranges
+// (or the periodic rebalance cadence, which lastReconcile carries across
+// the crash).
+func (s *Store) reconcile(rebalance bool) {
 	if s.w.NumVertices() < len(s.shards) {
 		// A zero-vertex store has one shard with an empty range; there is
 		// nothing to reconcile or rebalance (and BalancedRanges requires
 		// shards <= vertices).
-		s.lastReconcile = s.applied.Load()
+		if rebalance {
+			s.lastReconcile = s.applied.Load()
+		}
 		return
 	}
-	s.withBarrier(func() {
-		// Verify the incremental counters against an exact recompute over
-		// the CURRENT ownership before any boundary moves — a moved
-		// boundary transfers edges between shards, which is not drift.
+	type exact struct {
+		cross, total int64
+		perPart      []int64
+	}
+	// Computed over the CURRENT ownership before any boundary moves — a
+	// moved boundary transfers edges between shards, which is not drift.
+	// Indexed writes from the shard goroutines never alias.
+	results := make([]exact, len(s.shards))
+	s.withBarrierWork(func(sh *shard) {
+		cross, total, perPart := metrics.CutWeightsRange(sh.w, sh.labels, sh.k, sh.lo, sh.hi)
+		results[sh.id] = exact{cross: cross, total: total, perPart: perPart}
+	}, func() {
 		drifted := make([]bool, len(s.shards))
 		for i, sh := range s.shards {
-			cross, total, perPart := metrics.CutWeightsRange(s.w, s.labels, s.k, sh.lo, sh.hi)
-			if cross != sh.cross || total != sh.total || !slices.Equal(perPart, sh.perPart) {
+			r := results[i]
+			if r.cross != sh.cross || r.total != sh.total || !slices.Equal(r.perPart, sh.perPart) {
 				drifted[i] = true
 				s.ctr.CutDrift.Add(1)
-				sh.cross, sh.total, sh.perPart = cross, total, perPart
+				sh.cross, sh.total, sh.perPart = r.cross, r.total, r.perPart
 			}
 		}
-		newBounds := cluster.BalancedRanges(s.w, len(s.shards))
-		rebalanced := !slices.Equal(newBounds, s.bounds)
-		if rebalanced {
-			copy(s.bounds, newBounds)
-			s.pubGen++ // boundary move: republish every shard as one round
-			s.ctr.ShardRebalances.Add(1)
+		rebalanced := false
+		if rebalance {
+			newBounds := cluster.BalancedRanges(s.w, len(s.shards))
+			rebalanced = !slices.Equal(newBounds, s.bounds)
+			if rebalanced {
+				copy(s.bounds, newBounds)
+				s.pubGen++ // boundary move: republish every shard as one round
+				s.ctr.ShardRebalances.Add(1)
+			}
 		}
 		for i, sh := range s.shards {
 			if rebalanced {
@@ -1059,7 +1141,9 @@ func (s *Store) maybeReconcile() {
 			s.publishRouter()
 		}
 	})
-	s.lastReconcile = s.applied.Load()
+	if rebalance {
+		s.lastReconcile = s.applied.Load()
+	}
 }
 
 // maybeReleaseQuiescers answers pending Quiesce calls once the store is

@@ -1,0 +1,605 @@
+// Package wal is the durability layer under the serving stack: a
+// segmented, CRC-framed write-ahead journal of graph mutations and
+// elastic resizes, plus atomically-installed checkpoint files. The
+// serving layer (internal/serve) journals every accepted entry before
+// applying it and periodically checkpoints its composed state; after a
+// crash, recovery loads the latest valid checkpoint and replays the
+// journal tail, so a maintained partitioning — the thing the paper argues
+// is too expensive to recompute from scratch — survives process death.
+//
+// # Journal format
+//
+// A journal is a directory of segment files named wal-%016x.log, where
+// the hex field is the sequence number of the first record the segment
+// holds. Records are framed as
+//
+//	u32 payload length | u32 CRC-32C(payload) | payload
+//	payload = u64 sequence | u8 record type | body
+//
+// with all integers little-endian. Sequence numbers are assigned by
+// Append, start at 1, and increase by exactly 1 per record across segment
+// boundaries — a gap or regression is corruption, not a torn write.
+// Segments rotate once they pass Options.SegmentBytes, and every process
+// start opens a fresh segment, so already-synced data is never rewritten.
+//
+// # Torn writes vs corruption
+//
+// Replay distinguishes the two failure shapes a log can have:
+//
+//   - A bad frame at the tail of the LAST segment — short header, short
+//     payload, or CRC mismatch — is a torn write from the crash. Replay
+//     truncates the segment at the last good frame and reports success:
+//     those bytes were never acknowledged as durable.
+//   - A bad frame anywhere else (an earlier segment, or a CRC-valid
+//     payload that fails to decode, or a sequence gap) is real
+//     mid-log corruption and fails recovery loudly. Silent truncation
+//     there would drop acknowledged mutations.
+//
+// # Fsync policy
+//
+// SyncAlways fsyncs after every append (every acknowledged record
+// survives OS death), SyncEvery fsyncs on a background interval (bounded
+// loss window, near-SyncNever throughput), SyncNever leaves flushing to
+// the OS (process crashes lose nothing — the page cache survives — but
+// power loss can). Rotation and Close always sync regardless of policy.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// RecordType discriminates journal payloads.
+type RecordType uint8
+
+const (
+	// RecordMutation is a graph.Mutation batch.
+	RecordMutation RecordType = 1
+	// RecordResize is an elastic partition-count change.
+	RecordResize RecordType = 2
+)
+
+// Record is one journaled entry: a mutation batch or a resize.
+type Record struct {
+	Seq  uint64
+	Type RecordType
+	Mut  *graph.Mutation // RecordMutation
+	NewK int             // RecordResize
+}
+
+// Policy selects when appended records are fsynced.
+type Policy int
+
+const (
+	// SyncNever leaves flushing to the OS page cache.
+	SyncNever Policy = iota
+	// SyncEvery fsyncs on a background interval (Options.SyncInterval).
+	SyncEvery
+	// SyncAlways fsyncs after every append.
+	SyncAlways
+)
+
+// String returns the flag spelling of p.
+func (p Policy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncEvery:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses the -fsync flag spellings never|interval|always.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "never":
+		return SyncNever, nil
+	case "interval":
+		return SyncEvery, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want never|interval|always)", s)
+}
+
+// Options tunes a Journal.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the active one
+	// passes this size. Default 4 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy. Default SyncNever.
+	Sync Policy
+	// SyncInterval is the background fsync period under SyncEvery.
+	// Default 50ms.
+	SyncInterval time.Duration
+	// AppendsCounter, BytesCounter and SyncsCounter, when non-nil, are
+	// incremented alongside the journal's internal counters so callers
+	// (metrics.ServeCounters) see journal traffic without polling.
+	AppendsCounter, BytesCounter, SyncsCounter *atomic.Int64
+}
+
+func (o *Options) normalize() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+}
+
+const (
+	frameHeader = 8 // u32 length + u32 crc
+	recHeader   = 9 // u64 seq + u8 type
+	// MaxRecordBytes bounds a single record; a length prefix past it is
+	// treated as a bad frame rather than an allocation request.
+	MaxRecordBytes = 1 << 28
+
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal is an append-only segmented log. Append is safe for concurrent
+// use; in the serving layer the coordinator goroutine is the only writer.
+type Journal struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segBytes int64
+	nextSeq  uint64
+	buf      []byte // frame staging buffer, reused across appends
+	err      error  // sticky I/O error; all appends fail after it
+
+	appends atomic.Int64
+	bytes   atomic.Int64
+	syncs   atomic.Int64
+
+	stop chan struct{} // closes the background syncer
+	done chan struct{}
+}
+
+// Open creates (if needed) the journal directory and starts a fresh
+// segment whose first record will carry sequence number nextSeq. Existing
+// segments are left in place for Replay and TruncateBelow; a leftover
+// segment with the same starting sequence (a crash before any append) is
+// overwritten — its records, had any been valid, would have advanced
+// nextSeq past it during Replay.
+func Open(dir string, nextSeq uint64, opt Options) (*Journal, error) {
+	if nextSeq == 0 {
+		return nil, fmt.Errorf("wal: sequence numbers start at 1")
+	}
+	opt.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	j := &Journal{dir: dir, opt: opt, nextSeq: nextSeq}
+	if err := j.openSegment(); err != nil {
+		return nil, err
+	}
+	if opt.Sync == SyncEvery {
+		j.stop = make(chan struct{})
+		j.done = make(chan struct{})
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix)
+}
+
+// openSegment opens the segment that will hold j.nextSeq, truncating any
+// leftover file of the same name, and durably records the new directory
+// entry. Callers hold j.mu (or own j exclusively).
+func (j *Journal) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.nextSeq)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.segBytes = 0
+	return syncDir(j.dir)
+}
+
+// AppendMutation journals one mutation batch and returns its sequence
+// number and encoded frame size.
+func (j *Journal) AppendMutation(m *graph.Mutation) (seq uint64, n int, err error) {
+	return j.append(RecordMutation, m, 0)
+}
+
+// AppendResize journals one elastic resize to newK partitions.
+func (j *Journal) AppendResize(newK int) (seq uint64, n int, err error) {
+	return j.append(RecordResize, nil, newK)
+}
+
+func (j *Journal) append(typ RecordType, m *graph.Mutation, newK int) (uint64, int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return 0, 0, j.err
+	}
+	seq := j.nextSeq
+
+	// Stage the whole frame, then write it with one syscall: header
+	// placeholder, payload header, body.
+	buf := j.buf[:0]
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length+crc, patched below
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, byte(typ))
+	switch typ {
+	case RecordMutation:
+		buf = graph.AppendMutationBinary(buf, m)
+	case RecordResize:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(newK))
+	default:
+		return 0, 0, fmt.Errorf("wal: unknown record type %d", typ)
+	}
+	payload := buf[frameHeader:]
+	if len(payload) > MaxRecordBytes {
+		return 0, 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+	}
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	j.buf = buf
+
+	if j.segBytes > 0 && j.segBytes+int64(len(buf)) > j.opt.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.err = err
+			return 0, 0, err
+		}
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		j.err = err
+		return 0, 0, err
+	}
+	j.segBytes += int64(len(buf))
+	j.nextSeq++
+	if j.opt.Sync == SyncAlways {
+		if err := j.syncLocked(); err != nil {
+			j.err = err
+			return 0, 0, err
+		}
+	}
+	j.appends.Add(1)
+	j.bytes.Add(int64(len(buf)))
+	if j.opt.AppendsCounter != nil {
+		j.opt.AppendsCounter.Add(1)
+	}
+	if j.opt.BytesCounter != nil {
+		j.opt.BytesCounter.Add(int64(len(buf)))
+	}
+	return seq, len(buf), nil
+}
+
+// rotateLocked seals the active segment (sync + close) and opens the next.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	return j.openSegment()
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.syncs.Add(1)
+	if j.opt.SyncsCounter != nil {
+		j.opt.SyncsCounter.Add(1)
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.syncLocked(); err != nil {
+		j.err = err
+	}
+	return j.err
+}
+
+func (j *Journal) syncLoop() {
+	defer close(j.done)
+	t := time.NewTicker(j.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			j.mu.Lock()
+			if j.err == nil && j.segBytes > 0 {
+				if err := j.syncLocked(); err != nil {
+					j.err = err
+				}
+			}
+			j.mu.Unlock()
+		case <-j.stop:
+			return
+		}
+	}
+}
+
+// Close syncs and closes the active segment and stops the background
+// syncer. The journal is unusable afterwards.
+func (j *Journal) Close() error {
+	if j.stop != nil {
+		close(j.stop)
+		<-j.done
+		j.stop = nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	err := j.err
+	if err == nil {
+		err = j.syncLocked()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	if j.err == nil {
+		j.err = fmt.Errorf("wal: journal closed")
+	}
+	return err
+}
+
+// NextSeq returns the sequence number the next append will carry.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq
+}
+
+// Appends, AppendedBytes and Syncs report lifetime journal traffic.
+func (j *Journal) Appends() int64       { return j.appends.Load() }
+func (j *Journal) AppendedBytes() int64 { return j.bytes.Load() }
+func (j *Journal) Syncs() int64         { return j.syncs.Load() }
+
+// TruncateBelow deletes every sealed segment whose records all have
+// sequence numbers <= seq — the space-reclamation step after a checkpoint
+// at seq. The active segment is never deleted. Returns the number of
+// segments removed.
+func (j *Journal) TruncateBelow(seq uint64) (int, error) {
+	j.mu.Lock()
+	active := j.nextSeq // segments starting at or after this are unsealed
+	j.mu.Unlock()
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		// Segment i covers [segs[i].first, segs[i+1].first-1].
+		if segs[i+1].first > seq+1 || segs[i].first >= active {
+			break
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(j.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+type segment struct {
+	first uint64
+	path  string
+}
+
+// scanSeqFiles lists the files in dir named prefix+%016x+suffix, sorted
+// ascending by the parsed sequence field — the shared directory scan
+// behind journal segments and checkpoints. Files that do not match the
+// naming scheme (including leftover temp files) are ignored; an absent
+// directory is an empty listing.
+func scanSeqFiles(dir, prefix, suffix string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), "%016x", &seq); err != nil {
+			continue
+		}
+		out = append(out, segment{first: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].first < out[k].first })
+	return out, nil
+}
+
+// listSegments returns the journal's segment files sorted by first
+// sequence number.
+func listSegments(dir string) ([]segment, error) {
+	return scanSeqFiles(dir, segPrefix, segSuffix)
+}
+
+// Replay scans the journal in dir in sequence order, invoking fn for
+// every record with Seq > afterSeq, and returns the sequence number the
+// next append should carry. A torn tail — a bad frame at the end of the
+// last segment — is truncated in place and tolerated; any other framing,
+// decoding or sequencing failure is returned as corruption. An empty or
+// absent journal replays nothing.
+func Replay(dir string, afterSeq uint64, fn func(Record) error) (nextSeq uint64, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	nextSeq = afterSeq + 1
+	var expect uint64 // next sequence we must see; 0 until the first record
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		stop, err := replaySegment(seg, last, afterSeq, &expect, fn)
+		if err != nil {
+			return 0, err
+		}
+		if stop {
+			break
+		}
+	}
+	if expect > nextSeq {
+		nextSeq = expect
+	}
+	if expect != 0 && expect < nextSeq {
+		// The journal ends below afterSeq: the checkpoint was durably
+		// installed but the journal pages behind it died with the OS (an
+		// fsync=never/interval power loss). Every surviving record is
+		// already reflected in the checkpoint, so nothing is lost — but
+		// appends must resume at afterSeq+1, not reuse covered sequence
+		// numbers (the next recovery would skip them as replayed), and the
+		// stale records would trip the continuity check across the gap.
+		// Drop the fully-covered segments so the journal restarts cleanly.
+		for _, seg := range segs {
+			if err := os.Remove(seg.path); err != nil {
+				return 0, fmt.Errorf("wal: dropping checkpoint-covered segment: %w", err)
+			}
+		}
+		if err := syncDir(dir); err != nil {
+			return 0, err
+		}
+	}
+	return nextSeq, nil
+}
+
+// replaySegment scans one segment file. It updates *expect to the
+// sequence following the last valid record and reports stop=true when a
+// torn tail was truncated (no later segment may follow it).
+func replaySegment(seg segment, last bool, afterSeq uint64, expect *uint64, fn func(Record) error) (stop bool, err error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return false, err
+	}
+	off := 0
+	for off < len(data) {
+		frameLen, payload, ok := readFrame(data[off:])
+		if !ok {
+			if !last {
+				return false, fmt.Errorf("wal: corrupt frame at %s+%d (not the last segment)", seg.path, off)
+			}
+			// Torn tail: drop the bytes that never finished writing so
+			// the next process start never re-reads them.
+			if err := os.Truncate(seg.path, int64(off)); err != nil {
+				return false, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+			return true, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			// The CRC matched, so these bytes were written in full; a
+			// payload that still fails to decode is corruption (or a
+			// version skew), never a torn write.
+			return false, fmt.Errorf("wal: %s+%d: %w", seg.path, off, err)
+		}
+		if *expect == 0 {
+			if rec.Seq > afterSeq+1 {
+				return false, fmt.Errorf("wal: journal starts at seq %d, checkpoint covers through %d: gap", rec.Seq, afterSeq)
+			}
+		} else if rec.Seq != *expect {
+			return false, fmt.Errorf("wal: %s+%d: seq %d, want %d", seg.path, off, rec.Seq, *expect)
+		}
+		*expect = rec.Seq + 1
+		if rec.Seq > afterSeq {
+			if err := fn(rec); err != nil {
+				return false, err
+			}
+		}
+		off += frameLen
+	}
+	return false, nil
+}
+
+// readFrame parses one frame from b, returning its total length and
+// payload. ok=false means the frame is unreadable (short or CRC-bad) —
+// the torn-tail shape.
+func readFrame(b []byte) (frameLen int, payload []byte, ok bool) {
+	if len(b) < frameHeader {
+		return 0, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n < recHeader || n > MaxRecordBytes || len(b) < frameHeader+n {
+		return 0, nil, false
+	}
+	payload = b[frameHeader : frameHeader+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return 0, nil, false
+	}
+	return frameHeader + n, payload, true
+}
+
+// decodePayload decodes a CRC-valid payload into a Record.
+func decodePayload(p []byte) (Record, error) {
+	seq := binary.LittleEndian.Uint64(p)
+	typ := RecordType(p[8])
+	body := p[recHeader:]
+	switch typ {
+	case RecordMutation:
+		m, err := graph.DecodeMutationBinary(body)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Seq: seq, Type: typ, Mut: m}, nil
+	case RecordResize:
+		if len(body) != 4 {
+			return Record{}, fmt.Errorf("wal: resize body of %d bytes", len(body))
+		}
+		newK := int(int32(binary.LittleEndian.Uint32(body)))
+		if newK < 1 {
+			return Record{}, fmt.Errorf("wal: resize to k=%d", newK)
+		}
+		return Record{Seq: seq, Type: typ, NewK: newK}, nil
+	}
+	return Record{}, fmt.Errorf("wal: unknown record type %d", typ)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable (best-effort on platforms where directories reject fsync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testMutation(i int) *graph.Mutation {
+	m := &graph.Mutation{NewVertices: i % 3}
+	for e := 0; e <= i%4; e++ {
+		m.NewEdges = append(m.NewEdges, graph.WeightedEdgeRecord{
+			U: graph.VertexID(i + e), V: graph.VertexID(2*i + e + 1), Weight: int32(1 + e)})
+	}
+	if i%5 == 0 {
+		m.RemovedEdges = append(m.RemovedEdges, graph.Edge{From: graph.VertexID(i), To: graph.VertexID(i + 7)})
+	}
+	return m
+}
+
+func mutationsEqual(a, b *graph.Mutation) bool {
+	if a.NewVertices != b.NewVertices || len(a.NewEdges) != len(b.NewEdges) || len(a.RemovedEdges) != len(b.RemovedEdges) {
+		return false
+	}
+	for i := range a.NewEdges {
+		if a.NewEdges[i] != b.NewEdges[i] {
+			return false
+		}
+	}
+	for i := range a.RemovedEdges {
+		if a.RemovedEdges[i] != b.RemovedEdges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Append N records across several segments, replay, and require exact
+// round-tripping in order with contiguous sequence numbers.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{SegmentBytes: 256}) // force rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	want := make([]*graph.Mutation, 0, n)
+	for i := 0; i < n; i++ {
+		if i%9 == 8 {
+			if _, _, err := j.AppendResize(4 + i); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, nil)
+			continue
+		}
+		m := testMutation(i)
+		seq, frameLen, err := j.AppendMutation(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(len(want)+1) {
+			t.Fatalf("seq %d, want %d", seq, len(want)+1)
+		}
+		if frameLen <= 0 {
+			t.Fatalf("frame length %d", frameLen)
+		}
+		want = append(want, m)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments; rotation never fired", len(segs))
+	}
+
+	var got []Record
+	next, err := Replay(dir, 0, func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n+1 {
+		t.Fatalf("next seq %d, want %d", next, n+1)
+	}
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if want[i] == nil {
+			if r.Type != RecordResize || r.NewK != 4+i {
+				t.Fatalf("record %d: %+v, want resize to %d", i, r, 4+i)
+			}
+		} else if r.Type != RecordMutation || !mutationsEqual(r.Mut, want[i]) {
+			t.Fatalf("record %d round-trip mismatch: %+v vs %+v", i, r.Mut, want[i])
+		}
+	}
+
+	// Replay after a mid-log checkpoint skips the covered prefix.
+	var tail []Record
+	if _, err := Replay(dir, 25, func(r Record) error { tail = append(tail, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != n-25 || tail[0].Seq != 26 {
+		t.Fatalf("tail replay got %d records starting at %d", len(tail), tail[0].Seq)
+	}
+}
+
+// A torn tail — the crash shape — must be truncated and tolerated; the
+// same damage mid-log must fail as corruption.
+func TestJournalTornTailAndCorruption(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		j, err := Open(dir, 1, Options{SegmentBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			if _, _, err := j.AppendMutation(testMutation(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("torn-tail", func(t *testing.T) {
+		dir := build(t)
+		segs, _ := listSegments(dir)
+		last := segs[len(segs)-1].path
+		fi, _ := os.Stat(last)
+		if err := os.Truncate(last, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		next, err := Replay(dir, 0, func(Record) error { count++; return nil })
+		if err != nil {
+			t.Fatalf("torn tail must be tolerated: %v", err)
+		}
+		if count != 29 || next != 30 {
+			t.Fatalf("replayed %d records (next %d), want 29 (30)", count, next)
+		}
+		// The torn bytes are gone: a second replay sees a clean log.
+		count = 0
+		if _, err := Replay(dir, 0, func(Record) error { count++; return nil }); err != nil || count != 29 {
+			t.Fatalf("post-truncation replay: %d records, err %v", count, err)
+		}
+	})
+
+	t.Run("mid-log-corruption", func(t *testing.T) {
+		dir := build(t)
+		segs, _ := listSegments(dir)
+		if len(segs) < 2 {
+			t.Fatal("need at least two segments")
+		}
+		data, _ := os.ReadFile(segs[0].path)
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(dir, 0, func(Record) error { return nil }); err == nil {
+			t.Fatal("bit flip in a sealed segment replayed cleanly")
+		}
+	})
+
+	t.Run("seq-gap", func(t *testing.T) {
+		dir := build(t)
+		segs, _ := listSegments(dir)
+		if err := os.Remove(segs[1].path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(dir, 0, func(Record) error { return nil }); err == nil || !strings.Contains(err.Error(), "seq") {
+			t.Fatalf("missing middle segment replayed cleanly (err=%v)", err)
+		}
+	})
+}
+
+// Regression: when a durably-installed checkpoint outlives the journal
+// tail (fsync=never/interval power loss), the next append sequence must
+// resume ABOVE the checkpoint — reusing covered sequence numbers would
+// make the following recovery skip acknowledged records — and the stale,
+// fully-covered segments must be dropped so the continuity check does not
+// trip across the gap.
+func TestReplayJournalEndingBelowCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // records 1..4 survive; 5..10 died with the page cache
+		if _, _, err := j.AppendMutation(testMutation(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const ckptSeq = 10
+	count := 0
+	next, err := Replay(dir, ckptSeq, func(Record) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("replayed %d checkpoint-covered records", count)
+	}
+	if next != ckptSeq+1 {
+		t.Fatalf("next append seq %d, must resume above the checkpoint at %d", next, ckptSeq+1)
+	}
+
+	// Post-recovery appends carry fresh sequence numbers, and the NEXT
+	// recovery must deliver them all.
+	j2, err := Open(dir, next, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seq, _, err := j2.AppendMutation(testMutation(10 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != ckptSeq+1+uint64(i) {
+			t.Fatalf("post-recovery append got seq %d, want %d", seq, ckptSeq+1+uint64(i))
+		}
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if _, err := Replay(dir, ckptSeq, func(r Record) error { seqs = append(seqs, r.Seq); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 11 || seqs[2] != 13 {
+		t.Fatalf("second recovery delivered %v, want [11 12 13]", seqs)
+	}
+}
+
+// TruncateBelow must delete exactly the sealed segments fully covered by
+// the checkpoint and leave the tail replayable.
+func TestJournalTruncateBelow(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, _, err := j.AppendMutation(testMutation(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := listSegments(dir)
+	removed, err := j.TruncateBelow(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatalf("nothing truncated across %d segments", len(before))
+	}
+	count := 0
+	first := uint64(0)
+	if _, err := Replay(dir, 20, func(r Record) error {
+		if first == 0 {
+			first = r.Seq
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if first != 21 || count != 20 {
+		t.Fatalf("post-truncation tail starts at %d with %d records, want 21 with 20", first, count)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sync policies: every policy must produce a replayable log; SyncAlways
+// must fsync at least once per append, and closed journals reject writes.
+func TestJournalSyncPoliciesAndClose(t *testing.T) {
+	for _, pol := range []Policy{SyncNever, SyncEvery, SyncAlways} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(dir, 1, Options{Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if _, _, err := j.AppendMutation(testMutation(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pol == SyncAlways && j.Syncs() < 10 {
+				t.Fatalf("SyncAlways issued %d fsyncs for 10 appends", j.Syncs())
+			}
+			if j.Appends() != 10 || j.AppendedBytes() == 0 {
+				t.Fatalf("counters: appends=%d bytes=%d", j.Appends(), j.AppendedBytes())
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := j.AppendMutation(testMutation(0)); err == nil {
+				t.Fatal("append after Close succeeded")
+			}
+			count := 0
+			if _, err := Replay(dir, 0, func(Record) error { count++; return nil }); err != nil || count != 10 {
+				t.Fatalf("replay after close: %d records, err %v", count, err)
+			}
+		})
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{"never": SyncNever, "interval": SyncEvery, "ALWAYS": SyncAlways} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// Checkpoints: atomic install, CRC verification, latest-valid selection,
+// and retention-driven pruning.
+func TestCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LatestCheckpoint(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: %v", err)
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		payload := []byte(strings.Repeat("x", int(seq)*10))
+		if err := WriteCheckpoint(dir, seq*5, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, payload, err := LatestCheckpoint(dir)
+	if err != nil || seq != 20 || len(payload) != 40 {
+		t.Fatalf("latest = %d (%d bytes), err %v", seq, len(payload), err)
+	}
+
+	// Corrupt the newest: selection must fall back to the previous one.
+	path := filepath.Join(dir, ckptName(20))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, err = LatestCheckpoint(dir)
+	if err != nil || seq != 15 || len(payload) != 30 {
+		t.Fatalf("fallback = %d (%d bytes), err %v", seq, len(payload), err)
+	}
+
+	oldest, err := PruneCheckpoints(dir, 2)
+	if err != nil || oldest != 15 {
+		t.Fatalf("prune kept oldest %d, err %v", oldest, err)
+	}
+	seqs, _ := Checkpoints(dir)
+	if len(seqs) != 2 || seqs[0] != 15 || seqs[1] != 20 {
+		t.Fatalf("after prune: %v", seqs)
+	}
+}
