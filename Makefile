@@ -15,7 +15,9 @@
 #                      the incremental-vs-exact cut axis), into BENCH_pr3.json
 #   make bench-durable— same gate but BenchmarkServeMutateDurable (journaled
 #                      vs in-memory mutation throughput across fsync
-#                      policies), into BENCH_pr4.json
+#                      policies AND concurrent submitters — the group-commit
+#                      axis), into BENCH_pr5.json (PR 4's serial numbers
+#                      remain in BENCH_pr4.json)
 #   make bench-quick — CI benchmark smoke: every recorded benchmark runs
 #                      once (-benchtime=1x -count=1, no JSON write), so
 #                      compile/run breakage is caught without timing runs
@@ -26,11 +28,15 @@
 # The serving layer (internal/serve) is a sharded store: N shards each own
 # a contiguous vertex range with incremental O(batch) cut tracking, exact-
 # reconciled (and boundary-rebalanced) every Config.ReconcileEvery batches.
-# Durability (internal/wal) journals every accepted batch ahead of apply
-# and checkpoints the composed state; serve.Open recovers after a crash.
+# Durability (internal/wal) is a staged commit pipeline: each coordinator
+# turn journals everything pending as one group append (one write + one
+# fsync — group commit), coalesces consecutive add-only batches into single
+# shard broadcasts, and checkpoints in the background (the barrier only
+# clones state; encode/write/install run off the hot path). serve.Open
+# recovers after a crash, falling back past a checkpoint lost mid-write.
 # CI (.github/workflows/ci.yml) runs lint + check + bench-quick + the
 # recovery smoke on the Go version pinned in go.mod, and uploads
-# BENCH_pr4.json as a workflow artifact.
+# BENCH_pr4.json and BENCH_pr5.json as workflow artifacts.
 
 .PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-quick recovery-smoke
 
@@ -68,7 +74,7 @@ bench-mutate:
 	./scripts/bench.sh -l current -b BenchmarkServeMutateThroughput -p ./internal/serve -o BENCH_pr3.json
 
 bench-durable:
-	./scripts/bench.sh -l current -b BenchmarkServeMutateDurable -p ./internal/serve -o BENCH_pr4.json
+	./scripts/bench.sh -l current -b BenchmarkServeMutateDurable -p ./internal/serve -o BENCH_pr5.json
 
 bench-quick:
 	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .

@@ -29,7 +29,22 @@
 // replay, with torn tails truncated and mid-log corruption refused. The
 // -fsync policy trades throughput for durability against OS/power death:
 // never (page cache; survives process crashes), interval (bounded loss
-// window), always (every acknowledged batch survives power loss).
+// window, period set by -fsync-interval), always (every acknowledged
+// batch survives power loss). -keep-checkpoints sets the checkpoint
+// retention: the journal is only truncated below the oldest retained
+// checkpoint, so recovery survives the loss (or crash-interrupted write)
+// of the newest one by falling back and replaying a longer tail.
+//
+// The durable write path is a staged commit pipeline (see internal/serve
+// and internal/wal): each coordinator turn journals everything pending
+// as one group (one write + one fsync — under -fsync always, concurrent
+// submitters amortize the disk barrier), coalesces consecutive add-only
+// batches into single shard broadcasts, and runs checkpoints in the
+// background (the write plane only pauses to clone the state, never for
+// the encode + write + fsync). /stats reports the pipeline's shape:
+// GroupCommits/GroupedEntries (and the derived journal_group_depth —
+// mean entries per fsync), ApplyCoalesces/CoalescedBatches, and
+// CheckpointsPending (1 while a background checkpoint is in flight).
 //
 // # HTTP API
 //
@@ -49,7 +64,10 @@
 //	                         400 {"error":"bad k"|"k unchanged"} | 503 {"error":...}
 //	GET  /stats            → 200 snapshot + serving counters (JSON), including the
 //	                         durability counters (journal appends/bytes/fsyncs,
-//	                         checkpoints, replayed records) and "durable"
+//	                         checkpoints, replayed records), the commit-pipeline
+//	                         counters (GroupCommits/GroupedEntries, ApplyCoalesces/
+//	                         CoalescedBatches, CheckpointsPending), "durable" and
+//	                         the derived "journal_group_depth"
 //	GET  /healthz          → 200 once serving
 //
 // With -demo D the daemon skips the listener, drives synthetic churn
@@ -102,7 +120,9 @@ type daemonConfig struct {
 
 	dataDir         string
 	fsync           string
+	fsyncInterval   time.Duration
 	checkpointEvery int
+	keepCheckpoints int
 }
 
 func main() {
@@ -122,7 +142,9 @@ func main() {
 	flag.DurationVar(&dc.demo, "demo", 0, "run synthetic churn for this duration and exit (no listener)")
 	flag.StringVar(&dc.dataDir, "data-dir", "", "durable data directory (journal + checkpoints); empty = in-memory only")
 	flag.StringVar(&dc.fsync, "fsync", "interval", "journal fsync policy: never|interval|always")
+	flag.DurationVar(&dc.fsyncInterval, "fsync-interval", 50*time.Millisecond, "background fsync period under -fsync interval")
 	flag.IntVar(&dc.checkpointEvery, "checkpoint-every", 4096, "applied batches between checkpoints (negative disables periodic checkpoints)")
+	flag.IntVar(&dc.keepCheckpoints, "keep-checkpoints", 2, "newest checkpoints retained; the journal is truncated below the oldest kept")
 	flag.Parse()
 	if err := run(dc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spinnerd:", err)
@@ -163,7 +185,12 @@ func run(dc daemonConfig, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cfg.Durability = serve.DurabilityConfig{Fsync: pol, CheckpointEvery: dc.checkpointEvery}
+		cfg.Durability = serve.DurabilityConfig{
+			Fsync:           pol,
+			FsyncInterval:   dc.fsyncInterval,
+			CheckpointEvery: dc.checkpointEvery,
+			KeepCheckpoints: dc.keepCheckpoints,
+		}
 		if serve.HasState(dc.dataDir) {
 			fmt.Fprintf(out, "spinnerd: recovering from %s (fsync=%s)...\n", dc.dataDir, pol)
 			cfg.Shards = dc.shards // 0 keeps the checkpointed layout
@@ -336,6 +363,7 @@ func newMux(st *serve.Store) *http.ServeMux {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		snap := st.Snapshot()
+		ctr := st.Counters().Snapshot()
 		payload := map[string]any{
 			"vertices":         len(snap.Labels),
 			"k":                snap.K,
@@ -348,7 +376,10 @@ func newMux(st *serve.Store) *http.ServeMux {
 			"cut_by_partition": snap.CutByPartition,
 			"shards":           snap.Shards,
 			"durable":          st.Durable(),
-			"counters":         st.Counters().Snapshot(),
+			// Mean journal records framed per group append — the entries
+			// amortizing each fsync under -fsync always.
+			"journal_group_depth": ctr.GroupCommitDepth(),
+			"counters":            ctr,
 		}
 		if err := st.Err(); err != nil {
 			payload["last_error"] = err.Error()

@@ -103,31 +103,53 @@
 // (internal/wal + serve.NewDurable/BootstrapDurable/Open, surfaced by
 // spinnerd's -data-dir/-fsync/-checkpoint-every flags):
 //
-//   - Journal: the coordinator appends every accepted mutation/resize
-//     batch to a segmented, CRC-framed write-ahead log (binary
-//     graph.Mutation encoding, monotonic sequence numbers) before
-//     applying it. The durability boundary is pre-apply: no state a
-//     lookup has ever observed can be forgotten by a crash.
+// The durable write path is a staged commit pipeline (ISSUE 5): group
+// commit, coalesced apply, background checkpoints.
+//
+//   - Journal + group commit: each coordinator turn drains everything
+//     pending in the mutation log and appends the drained
+//     mutations/resizes to the segmented, CRC-framed write-ahead log
+//     (binary graph.Mutation encoding, monotonic sequence numbers) as
+//     ONE wal group — one frame-staging pass, one write syscall, at most
+//     one fsync (wal.AppendGroup; the wal layer also combines fsyncs
+//     across concurrent appenders). The durability boundary stays
+//     pre-apply per entry: the whole group is durable before any entry
+//     of it is applied, so no state a lookup has ever observed can be
+//     forgotten by a crash.
 //   - Fsync policy: never (page cache — survives process death, the
 //     common crash), interval (bounded loss window against OS/power
 //     death), always (every acknowledged batch survives power loss).
-//     BenchmarkServeMutateDurable (`make bench-durable` → BENCH_pr4.json)
-//     prices each policy against the in-memory write plane; the framing
-//     itself (fsync=never) costs well under 2x.
-//   - Checkpoints: every CheckpointEvery applied entries (and on graceful
-//     Close) the composed state — graph, labels, k, shard ranges,
-//     generation/epoch, trigger state — is atomically installed
-//     (tmp+fsync+rename) and journal segments below the oldest retained
-//     checkpoint are deleted.
+//     BenchmarkServeMutateDurable (`make bench-durable` → BENCH_pr5.json;
+//     PR 4's serial numbers remain in BENCH_pr4.json) prices each policy
+//     against the in-memory write plane along a concurrent-submitters
+//     axis: the framing itself (fsync=never) costs well under 2x, and
+//     with ≥8 submitters group commit amortizes fsync=always toward the
+//     interval policy.
+//   - Coalesced apply: consecutive add-only batches drained in one turn
+//     merge into a single shard broadcast — one scan, one cut-delta
+//     fold, one snapshot publication per shard for the run (sound
+//     because add-only batches never relabel).
+//   - Background checkpoints: every CheckpointEvery applied entries the
+//     barrier only *captures* the composed state — graph (Weighted.Clone),
+//     labels, k, shard ranges, generation/epoch, trigger state — and a
+//     background goroutine encodes and atomically installs it
+//     (tmp+fsync+rename), prunes old checkpoints, and deletes journal
+//     segments below the oldest retained one; at most one is in flight,
+//     and the write plane never stops for the encode. Close still
+//     checkpoints synchronously after waiting out an in-flight capture.
 //   - Recovery: serve.Open loads the latest valid checkpoint (falling
-//     back past a damaged newest file), rebuilds the shards, verifies the
-//     cut counters bit-for-bit, replays the journal tail through the
-//     normal shard-broadcast apply path, and runs an exact reconcile
-//     (CutDrift stays 0). Torn tails — the crash shape — are truncated;
-//     mid-log corruption fails recovery loudly rather than silently
-//     dropping acknowledged batches. For quiesced histories recovery is
-//     bit-identical: labels, k, shard ranges and integer cut counters
-//     match the uninterrupted store exactly (property-tested).
+//     back past a damaged newest file — or one that never finished
+//     installing because the crash hit mid-checkpoint, in which case the
+//     longer journal tail replays to the identical state), rebuilds the
+//     shards, verifies the cut counters bit-for-bit, replays the journal
+//     tail through the normal shard-broadcast apply path, and runs an
+//     exact reconcile (CutDrift stays 0). Torn tails — the crash shape —
+//     are truncated; mid-log corruption fails recovery loudly rather
+//     than silently dropping acknowledged batches. For quiesced
+//     histories recovery is bit-identical: labels, k, shard ranges and
+//     integer cut counters match the uninterrupted store exactly
+//     (property-tested, including a crash during an in-flight background
+//     checkpoint).
 //
 // # CI
 //
@@ -136,7 +158,8 @@
 // (gofmt -l + go vet), `make check` (build + vet + tier-1 tests + race
 // pass), `make bench-quick` (every recorded benchmark compiled and run
 // once, -benchtime=1x, no timing or JSON), and `make recovery-smoke`
-// (kill -9 a durable spinnerd mid-churn, reopen the data dir, assert
-// health and lookup consistency); BENCH_pr4.json is uploaded as a
-// workflow artifact.
+// (kill -9 a durable spinnerd mid-churn — additionally simulating a
+// crash during an in-flight background checkpoint — reopen the data
+// dir, assert health and lookup consistency); BENCH_pr4.json and
+// BENCH_pr5.json are uploaded as workflow artifacts.
 package repro

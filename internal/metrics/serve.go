@@ -92,6 +92,24 @@ type ServeCounters struct {
 	// ReplayedRecords counts journal records re-applied during crash
 	// recovery (serve.Open) — the recovery replay length.
 	ReplayedRecords atomic.Int64
+
+	// Commit-pipeline path (the staged write plane of ISSUE 5).
+
+	// GroupCommits counts journal group appends (one write + at most one
+	// fsync each); GroupedEntries totals the records framed into them.
+	// GroupedEntries/GroupCommits is the mean group-commit depth — the
+	// number of entries amortizing each fsync under wal.SyncAlways.
+	GroupCommits   atomic.Int64
+	GroupedEntries atomic.Int64
+	// ApplyCoalesces counts shard broadcasts that merged a run of two or
+	// more consecutive add-only batches into one fan-out (one cut-delta
+	// fold, one snapshot publication); CoalescedBatches totals the
+	// batches so merged.
+	ApplyCoalesces   atomic.Int64
+	CoalescedBatches atomic.Int64
+	// CheckpointsPending is a 0/1 gauge: 1 while a captured checkpoint is
+	// being encoded/written/installed by the background checkpointer.
+	CheckpointsPending atomic.Int64
 }
 
 // ServeSnapshot is a plain-value copy of ServeCounters.
@@ -108,6 +126,9 @@ type ServeSnapshot struct {
 	JournalAppends, JournalBytes            int64
 	JournalSyncs, Checkpoints               int64
 	CheckpointBytes, ReplayedRecords        int64
+	GroupCommits, GroupedEntries            int64
+	ApplyCoalesces, CoalescedBatches        int64
+	CheckpointsPending                      int64
 }
 
 // Snapshot copies every counter.
@@ -139,7 +160,23 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		Checkpoints:      c.Checkpoints.Load(),
 		CheckpointBytes:  c.CheckpointBytes.Load(),
 		ReplayedRecords:  c.ReplayedRecords.Load(),
+		GroupCommits:     c.GroupCommits.Load(),
+		GroupedEntries:   c.GroupedEntries.Load(),
+		ApplyCoalesces:   c.ApplyCoalesces.Load(),
+		CoalescedBatches: c.CoalescedBatches.Load(),
+
+		CheckpointsPending: c.CheckpointsPending.Load(),
 	}
+}
+
+// GroupCommitDepth returns the mean number of journal records framed per
+// group append — the entries amortizing each fsync under wal.SyncAlways
+// (0 with no group commits).
+func (s ServeSnapshot) GroupCommitDepth() float64 {
+	if s.GroupCommits == 0 {
+		return 0
+	}
+	return float64(s.GroupedEntries) / float64(s.GroupCommits)
 }
 
 // MeanStaleness returns the mean number of mutation batches the served
@@ -154,7 +191,7 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) ckpts=%d (%dB) replayed=%d",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, pending %d) replayed=%d",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
 		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
@@ -162,5 +199,6 @@ func (s ServeSnapshot) String() string {
 		s.MigratedVertices, s.MigratedWeight, s.ElasticResizes, s.ElasticSeedMoved,
 		s.CutReconciles, s.CutDrift, s.ShardRebalances,
 		s.JournalAppends, s.JournalBytes, s.JournalSyncs,
-		s.Checkpoints, s.CheckpointBytes, s.ReplayedRecords)
+		s.GroupCommits, s.GroupCommitDepth(), s.CoalescedBatches, s.ApplyCoalesces,
+		s.Checkpoints, s.CheckpointBytes, s.CheckpointsPending, s.ReplayedRecords)
 }

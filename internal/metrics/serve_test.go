@@ -20,6 +20,12 @@ func TestServeCountersSnapshot(t *testing.T) {
 	c.CutDrift.Add(1)
 	c.ShardRebalances.Add(2)
 
+	c.GroupCommits.Add(4)
+	c.GroupedEntries.Add(10)
+	c.ApplyCoalesces.Add(2)
+	c.CoalescedBatches.Add(5)
+	c.CheckpointsPending.Store(1)
+
 	s := c.Snapshot()
 	if s.Lookups != 10 || s.BatchesApplied != 3 || s.BatchesRejected != 1 ||
 		s.MigratedVertices != 7 || s.ElasticResizes != 2 {
@@ -28,6 +34,16 @@ func TestServeCountersSnapshot(t *testing.T) {
 	if s.ShardBatches != 6 || s.CutReconciles != 4 || s.CutDrift != 1 || s.ShardRebalances != 2 {
 		t.Fatalf("snapshot lost shard counts: %+v", s)
 	}
+	if s.GroupCommits != 4 || s.GroupedEntries != 10 || s.ApplyCoalesces != 2 ||
+		s.CoalescedBatches != 5 || s.CheckpointsPending != 1 {
+		t.Fatalf("snapshot lost commit-pipeline counts: %+v", s)
+	}
+	if got := s.GroupCommitDepth(); got != 2.5 {
+		t.Fatalf("GroupCommitDepth = %v, want 2.5", got)
+	}
+	if (ServeSnapshot{}).GroupCommitDepth() != 0 {
+		t.Fatal("GroupCommitDepth must be 0 with no group commits")
+	}
 	if got := s.MeanStaleness(); got != 0.5 {
 		t.Fatalf("MeanStaleness = %v, want 0.5", got)
 	}
@@ -35,7 +51,8 @@ func TestServeCountersSnapshot(t *testing.T) {
 		t.Fatal("MeanStaleness must be 0 with no lookups")
 	}
 	if str := s.String(); !strings.Contains(str, "lookups=10") || !strings.Contains(str, "batches=3/4") ||
-		!strings.Contains(str, "reconciles=4") {
+		!strings.Contains(str, "reconciles=4") || !strings.Contains(str, "groups=4 (depth 2.50)") ||
+		!strings.Contains(str, "coalesced=5/2") {
 		t.Fatalf("String() missing headline figures: %q", str)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -185,15 +186,26 @@ func BenchmarkServeMutateThroughput(b *testing.B) {
 }
 
 // BenchmarkServeMutateDurable measures what durability costs the write
-// plane (recorded in BENCH_pr4.json): the same 256-edge add batches as
-// BenchmarkServeMutateThroughput against an in-memory store and against
-// journaled stores at each fsync policy. The journal append (binary
-// encode + CRC + one write syscall) rides the coordinator's pre-apply
-// path, so fsync=never is the pure framing overhead (the PR-4 gate holds
-// it under 2x the in-memory path); fsync=always adds a disk barrier per
-// batch and is the upper bound an acknowledged-durable configuration
-// pays. Periodic checkpoints are disabled so the numbers isolate the
-// journal; restabilization is off as in the PR-3 benchmark.
+// plane (PR 4 recorded the serial numbers in BENCH_pr4.json; PR 5
+// records the pipelined ones in BENCH_pr5.json): the same 256-edge add
+// batches as BenchmarkServeMutateThroughput against an in-memory store
+// and against journaled stores along two axes —
+//
+//   - fsync policy: never is the pure framing overhead (binary encode +
+//     CRC + one write syscall on the pre-apply path); always adds the
+//     disk barrier and is the upper bound an acknowledged-durable
+//     configuration pays.
+//   - concurrent submitters (subs=1/8): the ISSUE-5 group-commit axis.
+//     With one submitter the coordinator journals mostly one entry per
+//     group; with 8 submitters the log backs up behind each fsync and
+//     the next turn drains the backlog into ONE group append (one write,
+//     one fsync) and coalesced shard broadcasts — so fsync=always
+//     amortizes toward the interval policy (the PR-5 gate: within ~3x of
+//     fsync=never at 8 submitters, down from ~7x serial). The group-depth
+//     metric reports entries per group append.
+//
+// Periodic checkpoints are disabled so the numbers isolate the journal;
+// restabilization is off as in the PR-3 benchmark.
 func BenchmarkServeMutateDurable(b *testing.B) {
 	const n, batchEdges = 30000, 256
 	g := gen.WattsStrogatz(n, 10, 0.2, 41)
@@ -223,14 +235,17 @@ func BenchmarkServeMutateDurable(b *testing.B) {
 	}
 
 	cases := []struct {
-		name    string
-		durable bool
-		fsync   wal.Policy
+		name       string
+		durable    bool
+		fsync      wal.Policy
+		submitters int
 	}{
-		{"inmem", false, 0},
-		{"fsync=never", true, wal.SyncNever},
-		{"fsync=interval", true, wal.SyncEvery},
-		{"fsync=always", true, wal.SyncAlways},
+		{"inmem", false, 0, 1},
+		{"fsync=never/subs=1", true, wal.SyncNever, 1},
+		{"fsync=never/subs=8", true, wal.SyncNever, 8},
+		{"fsync=interval/subs=8", true, wal.SyncEvery, 8},
+		{"fsync=always/subs=1", true, wal.SyncAlways, 1},
+		{"fsync=always/subs=8", true, wal.SyncAlways, 8},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
@@ -258,11 +273,24 @@ func BenchmarkServeMutateDurable(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := st.Submit(batches[i%len(batches)]); err != nil {
-					b.Fatal(err)
+			var wg sync.WaitGroup
+			for sub := 0; sub < tc.submitters; sub++ {
+				count := b.N / tc.submitters
+				if sub < b.N%tc.submitters {
+					count++
 				}
+				wg.Add(1)
+				go func(sub, count int) {
+					defer wg.Done()
+					for i := 0; i < count; i++ {
+						if err := st.Submit(batches[(sub*17+i)%len(batches)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(sub, count)
 			}
+			wg.Wait()
 			if err := st.Quiesce(); err != nil {
 				b.Fatal(err)
 			}
@@ -272,6 +300,7 @@ func BenchmarkServeMutateDurable(b *testing.B) {
 			if tc.durable {
 				b.ReportMetric(float64(c.JournalBytes)/float64(b.N), "journalB/op")
 				b.ReportMetric(float64(c.JournalSyncs), "fsyncs")
+				b.ReportMetric(c.GroupCommitDepth(), "group-depth")
 			}
 			if err := st.Close(); err != nil {
 				b.Fatal(err)

@@ -3,27 +3,50 @@ package serve
 // Durability: the optional journal + checkpoint subsystem that lets a
 // Store survive process death without recomputing the partitioning from
 // scratch — the exact cost the paper's maintenance argument (§III-D) is
-// about avoiding. Three pieces compose:
+// about avoiding. The durable write path is a staged commit pipeline:
 //
-//   - Journal (internal/wal): the coordinator durably appends every
-//     mutation batch and resize to a segmented CRC-framed log *before*
-//     applying it. The durability boundary is therefore pre-apply: no
-//     state a lookup has ever observed can be forgotten by a crash
-//     (entries still queued in the in-memory mutation log at crash time
-//     were never applied, never visible, and are dropped).
-//   - Checkpoints: every Durability.CheckpointEvery applied entries (and
-//     on graceful Close) the coordinator atomically persists its composed
-//     state — graph, labels, k, shard ranges, generation/epoch, the
-//     restabilization trigger state — under a shard barrier, prunes old
-//     checkpoints, and truncates journal segments below the oldest
-//     retained one.
+//   - Stage 1, group commit (journalGroup → wal.AppendGroup): each
+//     coordinator turn drains everything pending in the mutation log and
+//     durably appends the drained mutations/resizes to the segmented
+//     CRC-framed journal as ONE group — one frame-staging pass, one
+//     write syscall, and (under wal.SyncAlways) one fsync for the whole
+//     group, so concurrent submitters amortize the disk barrier toward
+//     the interval policy. The durability boundary is UNCHANGED by the
+//     batching: every entry is journaled (and the group's fsync has
+//     completed) before ANY entry of the group is applied, so the
+//     pre-apply invariant — no state a lookup has ever observed can be
+//     forgotten by a crash — holds per entry exactly as it did when
+//     entries were journaled one at a time. (Entries still queued in the
+//     in-memory mutation log at crash time were never applied, never
+//     visible, and are dropped.)
+//   - Stage 2, coalesced apply (handleGroup): the group's entries apply
+//     in submission order, with consecutive add-only batches merged into
+//     a single shard broadcast — one cut-delta fold and one snapshot
+//     publication per shard for the run. Sound because add-only batches
+//     never relabel: their composed effect is independent of grouping.
+//   - Stage 3, background checkpoints: every Durability.CheckpointEvery
+//     applied entries the coordinator only *captures* the composed state
+//     under the shard barrier — labels, k, shard ranges, integer cut
+//     counters, trigger state, and the graph via Weighted.Clone — and a
+//     background goroutine encodes the capture (the existing CSR binary
+//     form), writes + fsyncs + atomically installs the checkpoint file,
+//     prunes old checkpoints, and truncates covered journal segments.
+//     At most one checkpoint is in flight; the write plane never stops
+//     for the state encode. Close still checkpoints synchronously (after
+//     waiting out an in-flight capture), so graceful shutdown semantics
+//     are unchanged.
 //   - Recovery (Open): load the latest valid checkpoint, rebuild the
 //     shards over the decoded state (verifying the composed cut counters
 //     bit-for-bit against an exact recompute), then replay the journal
 //     tail through the normal shard-broadcast apply path, quiescing after
 //     each record. A torn tail is truncated; mid-log corruption fails
 //     recovery loudly. A final exact reconcile pass verifies the
-//     recovered counters (metrics CutDrift stays 0).
+//     recovered counters (metrics CutDrift stays 0). A crash while a
+//     background checkpoint was in flight leaves, at worst, a leftover
+//     temp file (ignored) and no new checkpoint — recovery falls back to
+//     the previous valid checkpoint and replays a longer journal tail to
+//     the identical state, which is why the journal is only truncated
+//     below the oldest RETAINED checkpoint.
 //
 // Determinism: replay re-applies the journaled entry sequence with a
 // quiesce between entries, so a store whose live history was itself a
@@ -90,14 +113,18 @@ func (d *DurabilityConfig) normalize() {
 }
 
 // durable is the coordinator-owned durability state. Between Open's
-// attach handshake and Close, only the coordinator goroutine touches it.
+// attach handshake and Close, only the coordinator goroutine touches it
+// (the background checkpointer works on a captured clone and reports
+// back through Store.ckptDone).
 type durable struct {
 	dir         string
 	cfg         DurabilityConfig
 	jrn         *wal.Journal
-	active      bool   // journaling live (false while Open replays)
-	lastSeq     uint64 // sequence of the last journaled record
-	ckptApplied int64  // applied count at the last checkpoint
+	active      bool             // journaling live (false while Open replays)
+	lastSeq     uint64           // sequence of the last journaled record
+	ckptApplied int64            // applied count at the last installed checkpoint
+	pending     bool             // a background checkpoint is in flight
+	groupBuf    []wal.GroupEntry // group-append staging, reused per turn
 }
 
 // attachReq hands Open's freshly opened journal to the coordinator
@@ -295,90 +322,155 @@ func (s *Store) control(e logEntry) error {
 // Durable reports whether the store journals and checkpoints to disk.
 func (s *Store) Durable() bool { return s.d != nil }
 
-// journalMutation durably records m before it is applied. A failed append
-// rejects the batch (counted, error recorded, graph untouched): applying
-// an unjournaled batch would let a crash forget state lookups had seen.
-// Returns false when the batch must be dropped.
-func (s *Store) journalMutation(m *graph.Mutation) bool {
+// journalGroup durably records every mutation and resize in the drained
+// group — framed by wal.AppendGroup as one write and at most one fsync —
+// before any of them is applied. This is the group-commit stage: the
+// per-entry durability boundary (journal-before-apply) is preserved
+// because the whole group is durable before the first apply. A failed
+// group append rejects every journalable entry in the group (counted,
+// error recorded, graph untouched): applying an unjournaled batch would
+// let a crash forget state lookups had seen. Control entries are
+// unaffected. Returns false when the group's entries must be dropped.
+func (s *Store) journalGroup(entries []logEntry) bool {
 	if s.d == nil || !s.d.active {
 		return true
 	}
-	seq, _, err := s.d.jrn.AppendMutation(m)
-	if err != nil {
-		err = fmt.Errorf("serve: journal append: %w", err)
-		s.lastErr.Store(&err)
-		s.ctr.BatchesRejected.Add(1)
-		s.applied.Add(1) // resolved, though rejected
-		return false
+	ge := s.d.groupBuf[:0]
+	for _, e := range entries {
+		switch {
+		case e.newK > 0:
+			ge = append(ge, wal.GroupEntry{NewK: e.newK})
+		case e.mut != nil:
+			ge = append(ge, wal.GroupEntry{Mut: e.mut})
+		}
 	}
-	s.d.lastSeq = seq
-	return true
-}
-
-// journalResize durably records an elastic resize before it relabels.
-func (s *Store) journalResize(newK int) bool {
-	if s.d == nil || !s.d.active {
+	s.d.groupBuf = ge
+	if len(ge) == 0 {
 		return true
 	}
-	seq, _, err := s.d.jrn.AppendResize(newK)
+	firstSeq, _, err := s.d.jrn.AppendGroup(ge)
+	for i := range ge {
+		ge[i] = wal.GroupEntry{} // drop batch references; the buffer outlives the turn
+	}
 	if err != nil {
 		err = fmt.Errorf("serve: journal append: %w", err)
 		s.lastErr.Store(&err)
+		for _, e := range entries {
+			if e.mut != nil && e.newK == 0 {
+				s.ctr.BatchesRejected.Add(1)
+				s.applied.Add(1) // resolved, though rejected
+			}
+		}
 		return false
 	}
-	s.d.lastSeq = seq
+	s.d.lastSeq = firstSeq + uint64(len(ge)) - 1
+	s.ctr.GroupCommits.Add(1)
+	s.ctr.GroupedEntries.Add(int64(len(ge)))
 	return true
 }
 
-// maybeCheckpoint runs the periodic checkpoint: every CheckpointEvery
-// applied entries, persist the composed state under a barrier, prune old
-// checkpoints and truncate the journal below the oldest retained one.
+// maybeCheckpoint starts the periodic background checkpoint: every
+// CheckpointEvery applied entries, capture the composed state under a
+// barrier (clone-only — labels, bounds, counters, and the graph via
+// Weighted.Clone) and hand it to a goroutine that encodes, writes and
+// installs it off the hot path. At most one checkpoint is in flight; a
+// failed one re-arms at the next cadence point (see ckptResult), with
+// the journal carrying every entry in the meantime.
 func (s *Store) maybeCheckpoint() {
-	if s.d == nil || !s.d.active || s.d.cfg.CheckpointEvery <= 0 {
+	if s.d == nil || !s.d.active || s.d.cfg.CheckpointEvery <= 0 || s.d.pending {
 		return
 	}
 	if s.applied.Load()-s.d.ckptApplied < int64(s.d.cfg.CheckpointEvery) {
 		return
 	}
+	var st *ckptState
 	s.withBarrier(func() {
-		if err := s.checkpointNow(); err != nil {
-			err = fmt.Errorf("serve: checkpoint: %w", err)
-			s.lastErr.Store(&err)
-		}
+		st = s.captureState(true)
 	})
+	s.d.pending = true
+	s.ctr.CheckpointsPending.Store(1)
+	go func() {
+		s.ckptDone <- s.writeCheckpointState(st)
+	}()
 }
 
-// checkpointNow writes a checkpoint of the coordinator-owned state and
-// reclaims journal space. The caller must hold exclusive access to the
-// state: under a barrier, before start, or after drainAndExit stopped the
-// shards. Checkpoint failures leave the store serving and journaling —
-// recovery just replays a longer tail.
-func (s *Store) checkpointNow() error {
-	seq := s.d.lastSeq
-	payload := s.encodeCheckpoint(seq)
-	if err := wal.WriteCheckpoint(ckptDir(s.d.dir), seq, payload); err != nil {
-		return err
+// ckptResult is the background checkpointer's report back to the
+// coordinator loop. applied is set on success AND failure: the cadence
+// counter advances either way, so a persistently failing checkpoint
+// retries at the next cadence point instead of hot-looping (the ckptDone
+// delivery itself wakes the coordinator, so an instant re-arm would
+// barrier + clone + fail continuously with no external traffic).
+type ckptResult struct {
+	applied int64 // applied count at capture; ckptApplied advances to it
+	bytes   int
+	err     error
+}
+
+// writeCheckpointState encodes a captured state, atomically installs the
+// checkpoint file, prunes old checkpoints and truncates covered journal
+// segments. It touches only the capture, the checkpoint directory and
+// the (concurrency-safe) journal truncation API, so it is safe to run
+// off the coordinator; wal.WriteCheckpoint's tmp+fsync+rename keeps a
+// crash mid-write invisible to recovery.
+func (s *Store) writeCheckpointState(st *ckptState) ckptResult {
+	payload := encodeCheckpoint(st)
+	if err := wal.WriteCheckpoint(ckptDir(s.d.dir), st.seq, payload); err != nil {
+		return ckptResult{applied: st.applied, err: err}
 	}
-	s.ctr.Checkpoints.Add(1)
-	s.ctr.CheckpointBytes.Add(int64(len(payload)))
-	s.d.ckptApplied = s.applied.Load()
 	oldest, err := wal.PruneCheckpoints(ckptDir(s.d.dir), s.d.cfg.KeepCheckpoints)
 	if err != nil {
-		return err
+		return ckptResult{applied: st.applied, err: err}
 	}
 	if s.d.jrn != nil {
 		if _, err := s.d.jrn.TruncateBelow(oldest); err != nil {
-			return err
+			return ckptResult{applied: st.applied, err: err}
 		}
 	}
+	return ckptResult{applied: st.applied, bytes: len(payload)}
+}
+
+// finishCheckpoint lands the background checkpointer's report on the
+// coordinator: bookkeeping on success, a recorded (non-fatal) error on
+// failure — the store keeps serving and journaling either way, and a
+// failed checkpoint just means recovery replays a longer tail.
+func (s *Store) finishCheckpoint(res ckptResult) {
+	s.d.pending = false
+	s.ctr.CheckpointsPending.Store(0)
+	s.d.ckptApplied = res.applied // success or not: re-arm at the next cadence point
+	if res.err != nil {
+		err := fmt.Errorf("serve: checkpoint: %w", res.err)
+		s.lastErr.Store(&err)
+		return
+	}
+	s.ctr.Checkpoints.Add(1)
+	s.ctr.CheckpointBytes.Add(int64(res.bytes))
+}
+
+// checkpointNow captures, encodes and installs a checkpoint
+// synchronously. The caller must hold exclusive access to the state:
+// before start, or after drainAndExit stopped the shards (the initial
+// and final checkpoints). The live graph is encoded directly — no clone
+// — since nothing else is running.
+func (s *Store) checkpointNow() error {
+	res := s.writeCheckpointState(s.captureState(false))
+	if res.err != nil {
+		return res.err
+	}
+	s.ctr.Checkpoints.Add(1)
+	s.ctr.CheckpointBytes.Add(int64(res.bytes))
+	s.d.ckptApplied = res.applied
 	return nil
 }
 
-// finishDurable runs during drainAndExit, after the shards stopped: the
-// graceful-shutdown final checkpoint (unless disabled) and journal close.
+// finishDurable runs during drainAndExit, after the shards stopped: wait
+// out an in-flight background checkpoint, write the graceful-shutdown
+// final checkpoint (unless disabled), and close the journal.
 func (s *Store) finishDurable() {
 	if s.d == nil {
 		return
+	}
+	if s.d.pending {
+		s.finishCheckpoint(<-s.ckptDone)
 	}
 	if s.d.active && !s.d.cfg.NoFinalCheckpoint {
 		if err := s.checkpointNow(); err != nil {
@@ -408,58 +500,92 @@ const ckptVersion = 1
 
 const flagWantRestab = 1 << 0
 
-// encodeCheckpoint serializes the coordinator-owned state. An in-flight
-// restabilization cannot be captured (it lives in a background clone), so
-// it is folded into the wantRestab flag: recovery re-runs it from the
-// same graph, epoch and generation, which reproduces the same labels.
-func (s *Store) encodeCheckpoint(seq uint64) []byte {
+// captureState snapshots the coordinator-owned state into a ckptState —
+// the barrier-time half of a background checkpoint. With clone set the
+// graph is deep-copied (Weighted.Clone, a flat-array memcpy much cheaper
+// than the binary encode) and labels/bounds/affected are copied, so the
+// capture stays consistent while the shards resume; the synchronous
+// paths (initial and final checkpoint) pass clone=false and alias the
+// live state they exclusively own. An in-flight restabilization cannot
+// be captured (it lives in a background clone), so it is folded into the
+// wantRestab flag: recovery re-runs it from the same graph, epoch and
+// generation, which reproduces the same labels.
+func (s *Store) captureState(clone bool) *ckptState {
 	var cross, total int64
 	for _, sh := range s.shards {
 		cross += sh.cross
 		total += sh.total
 	}
-	buf := make([]byte, 0, 64+4*len(s.labels)+16*len(s.bounds))
+	st := &ckptState{
+		seq:             s.d.lastSeq,
+		applied:         s.applied.Load(),
+		appliedAtRestab: s.appliedAtRestab,
+		lastReconcile:   s.lastReconcile,
+		gen:             s.gen,
+		epoch:           s.epoch,
+		baseline:        s.baseline,
+		wantRestab:      s.wantRestab || s.inflight,
+		k:               s.k,
+		bounds:          s.bounds,
+		labels:          s.labels,
+		cross:           cross,
+		total:           total,
+		w:               s.w,
+	}
+	st.affected = make([]graph.VertexID, 0, len(s.affected))
+	for v := range s.affected {
+		st.affected = append(st.affected, v)
+	}
+	slices.Sort(st.affected)
+	if clone {
+		st.bounds = append([]int(nil), s.bounds...)
+		st.labels = append([]int32(nil), s.labels...)
+		st.w = s.w.Clone()
+	}
+	return st
+}
+
+// encodeCheckpoint serializes a captured state into the checkpoint
+// payload (layout above).
+func encodeCheckpoint(st *ckptState) []byte {
+	buf := make([]byte, 0, 64+4*len(st.labels)+16*len(st.bounds))
 	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
-	buf = binary.LittleEndian.AppendUint64(buf, seq)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.applied.Load()))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.appliedAtRestab))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.lastReconcile))
-	buf = binary.LittleEndian.AppendUint64(buf, s.gen)
-	buf = binary.LittleEndian.AppendUint64(buf, s.epoch)
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.baseline))
+	buf = binary.LittleEndian.AppendUint64(buf, st.seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.applied))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.appliedAtRestab))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.lastReconcile))
+	buf = binary.LittleEndian.AppendUint64(buf, st.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, st.epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.baseline))
 	var flags byte
-	if s.wantRestab || s.inflight {
+	if st.wantRestab {
 		flags |= flagWantRestab
 	}
 	buf = append(buf, flags)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.shards)))
-	for _, b := range s.bounds {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.bounds)-1))
+	for _, b := range st.bounds {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(b))
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.labels)))
-	for _, l := range s.labels {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.labels)))
+	for _, l := range st.labels {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
 	}
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(cross))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(total))
-	affected := make([]graph.VertexID, 0, len(s.affected))
-	for v := range s.affected {
-		affected = append(affected, v)
-	}
-	slices.Sort(affected)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(affected)))
-	for _, v := range affected {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.cross))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.total))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.affected)))
+	for _, v := range st.affected {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
 	}
 	var gb bytes.Buffer
-	gb.Grow(int(16*s.w.NumEdges()) + 4*s.w.NumVertices() + 32)
+	gb.Grow(int(16*st.w.NumEdges()) + 4*st.w.NumVertices() + 32)
 	// bytes.Buffer writes cannot fail.
-	_ = s.w.EncodeBinary(&gb)
+	_ = st.w.EncodeBinary(&gb)
 	return append(buf, gb.Bytes()...)
 }
 
-// ckptState is the decoded checkpoint payload.
+// ckptState is both the capture a checkpoint writes and the decoded
+// checkpoint payload a recovery reads.
 type ckptState struct {
 	seq             uint64
 	applied         int64
@@ -622,6 +748,7 @@ func newStoreFromCheckpoint(st *ckptState, cfg Config) (*Store, error) {
 		affected:        make(map[graph.VertexID]struct{}, len(st.affected)),
 		restabDone:      make(chan restabResult, 1),
 		midrun:          make(chan midrunNote, 1),
+		ckptDone:        make(chan ckptResult, 1),
 	}
 	for _, v := range st.affected {
 		s.affected[v] = struct{}{}

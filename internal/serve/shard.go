@@ -6,11 +6,13 @@ import (
 	"repro/internal/graph"
 )
 
-// batchTracker counts down the shards working one submitted batch; the
-// shard finishing last resolves the whole batch.
+// batchTracker counts down the shards working one broadcast — a single
+// submitted batch or a coalesced run of them; the shard finishing last
+// resolves every batch the broadcast carried.
 type batchTracker struct {
 	remaining atomic.Int32
-	edges     int64
+	batches   int64 // submitted batches riding this broadcast
+	edges     int64 // their total edge count
 }
 
 // barrier synchronizes the coordinator with every shard: each shard acks
@@ -28,10 +30,11 @@ type barrier struct {
 	work   func(*shard)
 }
 
-// shardEntry is one unit of shard work: a fast-path batch (broadcast to
-// every shard; each picks out the arcs whose rows it owns) or a barrier.
+// shardEntry is one unit of shard work: a broadcast of one or more
+// coalesced fast-path batches (sent to every shard; each picks out the
+// arcs whose rows it owns) or a barrier.
 type shardEntry struct {
-	mut     *graph.Mutation // read-only; shared by all shards
+	muts    []*graph.Mutation // read-only; shared by all shards
 	tracker *batchTracker
 	barrier *barrier
 }
@@ -110,52 +113,61 @@ func (sh *shard) run() {
 	}
 }
 
-// apply lands one fast-path batch: the shard scans the (coordinator-
-// validated, shared, read-only) edge list, inserts the arcs whose rows it
-// owns, and folds O(batch) cut-counter deltas for the edges it owns (lower
-// endpoint in range) — the incremental replacement for the seed's exact
-// O(E) recompute per swap. Scanning in the shard rather than routing in
-// the coordinator keeps the serial per-batch work O(1)+send, so adding
-// shards scales the heavy part (row appends, cache-missing label reads).
+// apply lands one broadcast of coalesced fast-path batches: the shard
+// scans each (coordinator-validated, shared, read-only) edge list,
+// inserts the arcs whose rows it owns, and folds O(batch) cut-counter
+// deltas for the edges it owns (lower endpoint in range) — the
+// incremental replacement for the seed's exact O(E) recompute per swap.
+// A multi-batch broadcast pays the queue hop, the counter fold and the
+// snapshot publication once for the whole run. Scanning in the shard
+// rather than routing in the coordinator keeps the serial per-batch work
+// O(1)+send, so adding shards scales the heavy part (row appends,
+// cache-missing label reads).
 func (sh *shard) apply(e shardEntry) {
 	lo, hi := graph.VertexID(sh.lo), graph.VertexID(sh.hi)
 	touched := false
-	for _, ed := range e.mut.NewEdges {
-		u, v, wgt := ed.U, ed.V, ed.Weight
-		if wgt <= 0 {
-			wgt = 1
-		}
-		if u > v {
-			u, v = v, u
-		}
-		if u >= lo && u < hi {
-			sh.w.InsertArc(u, v, wgt)
-			touched = true
-			w64 := int64(wgt)
-			sh.total += w64
-			sh.dEdges++
-			sh.dWeight += w64
-			if lu, lv := sh.labels[u], sh.labels[v]; lu != lv {
-				sh.cross += w64
-				sh.perPart[lu] += w64
-				sh.perPart[lv] += w64
+	for _, m := range e.muts {
+		owned := false
+		for _, ed := range m.NewEdges {
+			u, v, wgt := ed.U, ed.V, ed.Weight
+			if wgt <= 0 {
+				wgt = 1
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if u >= lo && u < hi {
+				sh.w.InsertArc(u, v, wgt)
+				owned = true
+				w64 := int64(wgt)
+				sh.total += w64
+				sh.dEdges++
+				sh.dWeight += w64
+				if lu, lv := sh.labels[u], sh.labels[v]; lu != lv {
+					sh.cross += w64
+					sh.perPart[lu] += w64
+					sh.perPart[lv] += w64
+				}
+			}
+			if v >= lo && v < hi {
+				sh.w.InsertArc(v, u, wgt)
+				owned = true
 			}
 		}
-		if v >= lo && v < hi {
-			sh.w.InsertArc(v, u, wgt)
+		if owned {
 			touched = true
+			sh.st.ctr.ShardBatches.Add(1)
 		}
 	}
 	if touched {
 		// Coalesce publication under burst: when more work is already
-		// queued, fold this batch's counters into the next publication —
-		// the snapshot a reader misses here is at most one log turn stale,
+		// queued, fold these counters into the next publication — the
+		// snapshot a reader misses here is at most one log turn stale,
 		// and a pending barrier flushes before parking.
 		sh.dirty = true
 		if len(sh.log) == 0 {
 			sh.publishDelta()
 		}
-		sh.st.ctr.ShardBatches.Add(1)
 	}
 	if e.tracker.remaining.Add(-1) == 0 {
 		sh.st.finishBatch(e.tracker)

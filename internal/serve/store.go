@@ -18,14 +18,19 @@
 //     snapshot is never mutated, so readers hold it as long as they like.
 //   - Write plane: graph.Mutation batches enter a bounded mutation log (a
 //     buffered channel). Submit blocks for backpressure, TrySubmit fails
-//     fast with ErrLogFull. The coordinator drains the log in order and
-//     routes each batch. Edge-addition batches between existing vertices —
-//     the high-rate churn case — broadcast to every shard: each picks out
-//     the arcs whose rows it owns (two compares per edge), appends them,
-//     and folds an O(batch) delta into its cut counters (labels are
-//     frozen between barriers, so no synchronization is needed), then
-//     publishes an O(k) snapshot that reuses the previous label copy,
-//     coalescing publications under burst. Batches that append vertices or
+//     fast with ErrLogFull. The coordinator runs a staged commit pipeline:
+//     each turn it drains EVERYTHING pending in the log, journals the
+//     drained entries as one wal group (one write + one fsync on durable
+//     stores — group commit), then applies them in order, merging each
+//     maximal run of consecutive add-only batches into a single shard
+//     broadcast (coalesced apply: one scan, one cut-delta fold, one
+//     snapshot publication per shard for the whole run). Edge-addition
+//     batches between existing vertices — the high-rate churn case —
+//     broadcast to every shard: each picks out the arcs whose rows it
+//     owns (two compares per edge), appends them, and folds an O(batch)
+//     delta into its cut counters (labels are frozen between barriers, so
+//     no synchronization is needed), then publishes an O(k) snapshot that
+//     reuses the previous label copy. Batches that append vertices or
 //     remove edges take the barrier path: the coordinator parks every
 //     shard, applies the batch atomically to the merged graph, seeds new
 //     vertices least-loaded (§III-D), folds the batch's exact cut deltas
@@ -257,6 +262,7 @@ type Store struct {
 	inflight        bool
 	restabDone      chan restabResult
 	midrun          chan midrunNote // capacity 1; latest-wins mailbox
+	ckptDone        chan ckptResult // capacity 1; background checkpointer reply
 	quiescers       []chan error
 	d               *durable // nil on in-memory stores
 }
@@ -302,6 +308,7 @@ func newStore(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 		affected:   make(map[graph.VertexID]struct{}),
 		restabDone: make(chan restabResult, 1),
 		midrun:     make(chan midrunNote, 1),
+		ckptDone:   make(chan ckptResult, 1),
 	}
 	if w.NumVertices() == 0 {
 		s.bounds = []int{0, 0}
@@ -649,12 +656,12 @@ func (s *Store) withBarrierWork(work func(*shard), fn func()) {
 	close(b.resume)
 }
 
-// finishBatch resolves one fast-path batch; called by the shard that
-// completed its last sub-batch.
+// finishBatch resolves every batch a fast-path broadcast carried; called
+// by the shard that completed its last sub-batch.
 func (s *Store) finishBatch(tr *batchTracker) {
-	s.ctr.BatchesApplied.Add(1)
+	s.ctr.BatchesApplied.Add(tr.batches)
 	s.ctr.EdgesAdded.Add(tr.edges)
-	s.applied.Add(1)
+	s.applied.Add(tr.batches)
 	select {
 	case s.batchDone <- struct{}{}:
 	default:
@@ -662,9 +669,12 @@ func (s *Store) finishBatch(tr *batchTracker) {
 }
 
 // loop is the coordinator: sole owner of the authoritative graph topology
-// and labels (jointly with the shards, exclusively under barriers).
+// and labels (jointly with the shards, exclusively under barriers). Each
+// turn drains the whole pending log and pushes it through the commit
+// pipeline (journal group → coalesced apply) as one unit.
 func (s *Store) loop() {
 	defer close(s.done)
+	var pending []logEntry // drain buffer, reused across turns
 	for {
 		s.maybeReconcile()
 		s.maybeCheckpoint()
@@ -672,18 +682,40 @@ func (s *Store) loop() {
 		s.maybeReleaseQuiescers()
 		select {
 		case e := <-s.log:
-			s.handle(e)
+			pending = s.drainLog(append(pending[:0], e))
+			s.handleGroup(pending)
+			clear(pending) // drop batch references; the buffer outlives the turn
 		case <-s.batchDone:
 			// Fast-path batches resolved; loop to re-evaluate triggers.
 		case res := <-s.restabDone:
 			s.merge(res)
 		case note := <-s.midrun:
 			s.mergeMidrun(note)
+		case res := <-s.ckptDone:
+			s.finishCheckpoint(res)
 		case <-s.closed:
 			s.drainAndExit()
 			return
 		}
 	}
+}
+
+// drainLog moves what is currently queued in the mutation log into
+// pending without blocking — the group the commit pipeline will journal
+// and apply as one unit. The drain is capped at LogDepth entries per
+// turn: each receive frees a channel slot that a blocked Submit refills,
+// so an uncapped loop could grow the group (and the journal staging
+// buffer sized to it) without bound under sustained pressure.
+func (s *Store) drainLog(pending []logEntry) []logEntry {
+	for len(pending) < s.cfg.LogDepth {
+		select {
+		case e := <-s.log:
+			pending = append(pending, e)
+		default:
+			return pending
+		}
+	}
+	return pending
 }
 
 // drainAndExit waits out an in-flight run (discarding it), stops the
@@ -721,52 +753,71 @@ func (s *Store) drainAndExit() {
 	}
 }
 
-// handle processes one log entry. Mutations and resizes are journaled
-// before they are applied (no-ops on in-memory stores), so nothing a
-// lookup can observe is ever lost to a crash.
-func (s *Store) handle(e logEntry) {
-	switch {
-	case e.quiesce != nil:
-		s.quiescers = append(s.quiescers, e.quiesce)
-	case e.attach != nil:
-		s.d.jrn = e.attach.jrn
-		s.d.lastSeq = e.attach.lastSeq
-		s.d.ckptApplied = s.applied.Load()
-		s.d.active = true
-		e.attach.reply <- nil
-	case e.reconcile != nil:
-		s.reconcile(false)
-		e.reconcile <- nil
-	case e.newK > 0:
-		if !s.journalResize(e.newK) {
-			return
+// handleGroup processes one drained group of log entries — the staged
+// commit pipeline. Stage 1 (journalGroup): every mutation/resize in the
+// group is durably framed as one wal group append BEFORE any of them is
+// applied, preserving the pre-apply durability boundary per entry while
+// paying at most one fsync for the group. Stage 2 (coalesced apply): the
+// entries are applied strictly in submission order, with each maximal
+// run of consecutive fast-path-eligible add-only batches merged into a
+// single shard broadcast. Control entries (quiesce, attach, reconcile)
+// are interleaved at their submitted positions.
+func (s *Store) handleGroup(entries []logEntry) {
+	ok := s.journalGroup(entries)
+	var run []*graph.Mutation
+	flush := func() {
+		if len(run) > 0 {
+			s.broadcast(run)
+			run = nil // ownership moved to the shards; never reuse
 		}
-		s.resize(e.newK)
-	default:
-		if !s.journalMutation(e.mut) {
-			return
-		}
-		s.handleBatch(e.mut)
 	}
+	for _, e := range entries {
+		switch {
+		case e.quiesce != nil:
+			s.quiescers = append(s.quiescers, e.quiesce)
+		case e.attach != nil:
+			flush()
+			s.d.jrn = e.attach.jrn
+			s.d.lastSeq = e.attach.lastSeq
+			s.d.ckptApplied = s.applied.Load()
+			s.d.active = true
+			e.attach.reply <- nil
+		case e.reconcile != nil:
+			flush()
+			s.reconcile(false)
+			e.reconcile <- nil
+		case e.newK > 0:
+			if !ok {
+				continue // group journal failed; entry was never durable
+			}
+			flush()
+			s.resize(e.newK)
+		default:
+			if !ok {
+				continue // rejected in journalGroup
+			}
+			if s.stageFastPath(e.mut, &run) {
+				continue
+			}
+			flush()
+			s.applyGlobalBatch(e.mut)
+		}
+	}
+	flush()
 }
 
-// handleBatch routes a mutation batch: edge additions between existing
-// vertices fan out to the shards; anything else (vertex growth, removals,
-// batches that will fail validation) takes the barrier path.
-func (s *Store) handleBatch(m *graph.Mutation) {
-	if s.tryFastPath(m) {
-		return
-	}
-	s.applyGlobalBatch(m)
-}
-
-// tryFastPath broadcasts an add-only batch to every shard; each picks out
-// the arcs whose rows it owns with two compares per edge, so the
-// coordinator's serial cost per batch is one validation scan plus the
-// sends. Such a batch can never fail validation (the checks are
-// graph-independent), so atomicity is trivial, and it never relabels, so
-// the shards apply it against frozen labels without synchronization.
-func (s *Store) tryFastPath(m *graph.Mutation) bool {
+// stageFastPath stages an add-only batch into the current coalesce run;
+// each shard will pick out the arcs whose rows it owns with two compares
+// per edge, so the coordinator's serial cost per batch is one validation
+// scan plus the (per-run, not per-batch) sends. Such a batch can never
+// fail validation (the checks are graph-independent), so atomicity is
+// trivial, and it never relabels, so the shards apply it against frozen
+// labels without synchronization — which is also why coalescing runs is
+// sound: the composed effect of consecutive add-only batches is
+// independent of how they are grouped. Eligibility is evaluated in
+// submission order: the vertex bound only changes on the barrier path,
+// which always flushes the run first.
+func (s *Store) stageFastPath(m *graph.Mutation, run *[]*graph.Mutation) bool {
 	if m.NewVertices != 0 || len(m.RemovedEdges) != 0 {
 		return false
 	}
@@ -787,12 +838,29 @@ func (s *Store) tryFastPath(m *graph.Mutation) bool {
 			s.affected[e.V] = struct{}{}
 		}
 	}
-	tr := &batchTracker{edges: int64(len(m.NewEdges))}
-	tr.remaining.Store(int32(len(s.shards)))
-	for _, sh := range s.shards {
-		sh.log <- shardEntry{mut: m, tracker: tr}
-	}
+	*run = append(*run, m)
 	return true
+}
+
+// broadcast fans one coalesced run of add-only batches out to every
+// shard as a single shardEntry: one queue hop, one cut-delta fold and
+// one snapshot publication per shard for the whole run. The run slice is
+// handed to the shards and must not be reused by the caller.
+func (s *Store) broadcast(run []*graph.Mutation) {
+	var edges int64
+	for _, m := range run {
+		edges += int64(len(m.NewEdges))
+	}
+	if len(run) > 1 {
+		s.ctr.ApplyCoalesces.Add(1)
+		s.ctr.CoalescedBatches.Add(int64(len(run)))
+	}
+	tr := &batchTracker{batches: int64(len(run)), edges: edges}
+	tr.remaining.Store(int32(len(s.shards)))
+	e := shardEntry{muts: run, tracker: tr}
+	for _, sh := range s.shards {
+		sh.log <- e
+	}
 }
 
 // applyGlobalBatch applies one batch under a barrier: vertex growth,
@@ -1147,14 +1215,20 @@ func (s *Store) reconcile(rebalance bool) {
 }
 
 // maybeReleaseQuiescers answers pending Quiesce calls once the store is
-// fully drained: no log backlog, no run in flight, no trigger pending. The
-// shard logs are drained with an empty barrier before the final trigger
-// evaluation, so the decision is made on fully-applied counters.
+// fully drained: no log backlog, no run in flight, no background
+// checkpoint pending, no trigger pending. The shard logs are drained
+// with an empty barrier before the final trigger evaluation, so the
+// decision is made on fully-applied counters. (Waiting out the
+// checkpoint keeps quiesced histories deterministic in their durability
+// side effects — which checkpoints exist — not just their labels.)
 func (s *Store) maybeReleaseQuiescers() {
 	if len(s.quiescers) == 0 {
 		return
 	}
 	if s.inflight || len(s.log) > 0 || len(s.midrun) > 0 {
+		return
+	}
+	if s.d != nil && s.d.pending {
 		return
 	}
 	s.withBarrier(func() {})

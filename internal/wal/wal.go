@@ -42,6 +42,22 @@
 // loss window, near-SyncNever throughput), SyncNever leaves flushing to
 // the OS (process crashes lose nothing — the page cache survives — but
 // power loss can). Rotation and Close always sync regardless of policy.
+//
+// # Group commit
+//
+// The cost of SyncAlways is the disk barrier, not the framing, so the
+// journal amortizes it two ways. AppendGroup frames any number of records
+// into one staging buffer and lands them with a single write syscall and
+// (under SyncAlways) a single fsync — the serving coordinator drains its
+// whole pending mutation log into one group, so the barrier is paid per
+// burst, not per record. Independently, concurrent Append*/AppendGroup
+// callers combine fsyncs: the first caller needing durability becomes the
+// sync leader and fsyncs once for every record written before the sync
+// started, while later callers park on a condition variable; when the
+// leader finishes it wakes all waiters, whose records are either already
+// covered (they return) or lead the next combined sync. Records are never
+// acknowledged before the fsync that covers them completes, so the
+// durability guarantee of SyncAlways is unchanged — only its price.
 package wal
 
 import (
@@ -153,13 +169,25 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Journal is an append-only segmented log. Append is safe for concurrent
-// use; in the serving layer the coordinator goroutine is the only writer.
+// fsyncFile is the fsync used by the combined-sync path
+// (ensureDurableLocked); a package variable so tests can gate it to
+// deterministically observe leader/follower combining. Rotation and
+// Close sync directly — they are not part of the combining protocol.
+var fsyncFile = (*os.File).Sync
+
+// Journal is an append-only segmented log. Appends are safe for
+// concurrent use; concurrent callers under SyncAlways share fsyncs (see
+// the group-commit section of the package comment). In the serving layer
+// the coordinator goroutine is the only writer and amortization comes
+// from AppendGroup instead.
 type Journal struct {
 	dir string
 	opt Options
 
 	mu       sync.Mutex
+	syncCond *sync.Cond // signals sync completion (synced advance, err, leader exit)
+	syncing  bool       // a leader fsync is in flight with mu released
+	synced   uint64     // highest sequence number known durable
 	f        *os.File
 	segBytes int64
 	nextSeq  uint64
@@ -188,7 +216,8 @@ func Open(dir string, nextSeq uint64, opt Options) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	j := &Journal{dir: dir, opt: opt, nextSeq: nextSeq}
+	j := &Journal{dir: dir, opt: opt, nextSeq: nextSeq, synced: nextSeq - 1}
+	j.syncCond = sync.NewCond(&j.mu)
 	if err := j.openSegment(); err != nil {
 		return nil, err
 	}
@@ -217,80 +246,168 @@ func (j *Journal) openSegment() error {
 	return syncDir(j.dir)
 }
 
+// GroupEntry is one record of a group append: a mutation batch when Mut
+// is non-nil, otherwise an elastic resize to NewK partitions.
+type GroupEntry struct {
+	Mut  *graph.Mutation
+	NewK int
+}
+
 // AppendMutation journals one mutation batch and returns its sequence
 // number and encoded frame size.
 func (j *Journal) AppendMutation(m *graph.Mutation) (seq uint64, n int, err error) {
-	return j.append(RecordMutation, m, 0)
+	return j.AppendGroup([]GroupEntry{{Mut: m}})
 }
 
 // AppendResize journals one elastic resize to newK partitions.
 func (j *Journal) AppendResize(newK int) (seq uint64, n int, err error) {
-	return j.append(RecordResize, nil, newK)
+	return j.AppendGroup([]GroupEntry{{NewK: newK}})
 }
 
-func (j *Journal) append(typ RecordType, m *graph.Mutation, newK int) (uint64, int, error) {
+// AppendGroup journals a group of records with consecutive sequence
+// numbers (the first is returned), framed into one staging buffer and
+// written with a single syscall; under SyncAlways the whole group rides
+// one fsync — the group-commit write path. The group is durable as a
+// unit when AppendGroup returns: either every record was acknowledged or
+// none was written. n is the total encoded size. An empty group is a
+// no-op.
+func (j *Journal) AppendGroup(entries []GroupEntry) (firstSeq uint64, n int, err error) {
+	if len(entries) == 0 {
+		return 0, 0, nil
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
 		return 0, 0, j.err
 	}
-	seq := j.nextSeq
 
-	// Stage the whole frame, then write it with one syscall: header
-	// placeholder, payload header, body.
-	buf := j.buf[:0]
-	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length+crc, patched below
-	buf = binary.LittleEndian.AppendUint64(buf, seq)
-	buf = append(buf, byte(typ))
-	switch typ {
-	case RecordMutation:
-		buf = graph.AppendMutationBinary(buf, m)
-	case RecordResize:
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(newK))
-	default:
-		return 0, 0, fmt.Errorf("wal: unknown record type %d", typ)
-	}
-	payload := buf[frameHeader:]
-	if len(payload) > MaxRecordBytes {
-		return 0, 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
-	}
-	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
-	j.buf = buf
-
-	if j.segBytes > 0 && j.segBytes+int64(len(buf)) > j.opt.SegmentBytes {
+	// Stage every frame back to back, then write them with one syscall:
+	// per record a header placeholder, payload header, body. Staging and
+	// rotation run entirely under j.mu — EXCEPT when rotation must wait
+	// out an in-flight combined sync, which releases the mutex: another
+	// appender may then reuse the staging buffer and claim our sequence
+	// numbers, so after such a wait the whole group is re-staged from the
+	// fresh j.nextSeq rather than rotated on stale state.
+	var buf []byte
+	for {
+		if j.err != nil {
+			return 0, 0, j.err
+		}
+		firstSeq = j.nextSeq
+		buf = j.buf[:0]
+		for i := range entries {
+			off := len(buf)
+			buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length+crc, patched below
+			buf = binary.LittleEndian.AppendUint64(buf, firstSeq+uint64(i))
+			if m := entries[i].Mut; m != nil {
+				buf = append(buf, byte(RecordMutation))
+				buf = graph.AppendMutationBinary(buf, m)
+			} else {
+				buf = append(buf, byte(RecordResize))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(entries[i].NewK))
+			}
+			payload := buf[off+frameHeader:]
+			if len(payload) > MaxRecordBytes {
+				j.buf = buf[:0]
+				return 0, 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+			}
+			binary.LittleEndian.PutUint32(buf[off:], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(buf[off+4:], crc32.Checksum(payload, crcTable))
+		}
+		j.buf = buf
+		if j.segBytes == 0 || j.segBytes+int64(len(buf)) <= j.opt.SegmentBytes {
+			break // fits the active segment
+		}
+		if j.syncing {
+			for j.syncing {
+				j.syncCond.Wait()
+			}
+			continue // mutex was released: restage before deciding again
+		}
 		if err := j.rotateLocked(); err != nil {
 			j.err = err
 			return 0, 0, err
 		}
+		break // fresh segment; the staged frames are still valid
 	}
 	if _, err := j.f.Write(buf); err != nil {
 		j.err = err
 		return 0, 0, err
 	}
 	j.segBytes += int64(len(buf))
-	j.nextSeq++
+	j.nextSeq += uint64(len(entries))
 	if j.opt.Sync == SyncAlways {
-		if err := j.syncLocked(); err != nil {
-			j.err = err
+		if err := j.ensureDurableLocked(j.nextSeq - 1); err != nil {
 			return 0, 0, err
 		}
 	}
-	j.appends.Add(1)
+	j.appends.Add(int64(len(entries)))
 	j.bytes.Add(int64(len(buf)))
 	if j.opt.AppendsCounter != nil {
-		j.opt.AppendsCounter.Add(1)
+		j.opt.AppendsCounter.Add(int64(len(entries)))
 	}
 	if j.opt.BytesCounter != nil {
 		j.opt.BytesCounter.Add(int64(len(buf)))
 	}
-	return seq, len(buf), nil
+	return firstSeq, len(buf), nil
 }
 
-// rotateLocked seals the active segment (sync + close) and opens the next.
+// ensureDurableLocked blocks until every record with sequence <= seq is
+// fsynced, combining concurrent callers into shared fsyncs: the first
+// waiter becomes the sync leader and fsyncs once for everything written
+// before the sync started (releasing j.mu for the fsync itself, so
+// writers keep appending into the group the NEXT sync will cover); later
+// waiters park on the condition variable and are woken when the leader
+// finishes — either covered, or leading the next combined sync.
+// Callers hold j.mu.
+func (j *Journal) ensureDurableLocked(seq uint64) error {
+	for {
+		// Durability first, THEN the sticky error: a caller whose records
+		// an earlier combined sync already covered must be acknowledged
+		// even if another appender poisoned the journal afterwards —
+		// reporting a durably-synced group as failed would let recovery
+		// resurrect a batch its writer was told was rejected.
+		if j.synced >= seq {
+			return nil
+		}
+		if j.err != nil {
+			return j.err
+		}
+		if j.syncing {
+			j.syncCond.Wait()
+			continue
+		}
+		j.syncing = true
+		f, mark := j.f, j.nextSeq-1
+		j.mu.Unlock()
+		err := fsyncFile(f)
+		j.mu.Lock()
+		j.syncing = false
+		j.syncCond.Broadcast()
+		if err != nil {
+			if j.err == nil {
+				j.err = err
+			}
+			return err
+		}
+		j.countSyncLocked()
+		if mark > j.synced {
+			j.synced = mark
+		}
+	}
+}
+
+// rotateLocked seals the active segment (sync + close) and opens the
+// next. Callers hold j.mu and must have checked that no combined sync is
+// in flight (j.syncing false); the mutex is never released here, so no
+// other appender can interleave with the rotation.
 func (j *Journal) rotateLocked() error {
-	if err := j.syncLocked(); err != nil {
+	if err := j.f.Sync(); err != nil {
 		return err
+	}
+	j.countSyncLocked()
+	if j.nextSeq-1 > j.synced {
+		j.synced = j.nextSeq - 1 // everything written so far is in this file
 	}
 	if err := j.f.Close(); err != nil {
 		return err
@@ -298,28 +415,22 @@ func (j *Journal) rotateLocked() error {
 	return j.openSegment()
 }
 
-func (j *Journal) syncLocked() error {
-	if err := j.f.Sync(); err != nil {
-		return err
-	}
+func (j *Journal) countSyncLocked() {
 	j.syncs.Add(1)
 	if j.opt.SyncsCounter != nil {
 		j.opt.SyncsCounter.Add(1)
 	}
-	return nil
 }
 
-// Sync forces an fsync of the active segment regardless of policy.
+// Sync makes every appended record durable regardless of policy,
+// sharing an in-flight combined fsync when one covers the tail.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}
-	if err := j.syncLocked(); err != nil {
-		j.err = err
-	}
-	return j.err
+	return j.ensureDurableLocked(j.nextSeq - 1)
 }
 
 func (j *Journal) syncLoop() {
@@ -330,10 +441,8 @@ func (j *Journal) syncLoop() {
 		select {
 		case <-t.C:
 			j.mu.Lock()
-			if j.err == nil && j.segBytes > 0 {
-				if err := j.syncLocked(); err != nil {
-					j.err = err
-				}
+			if j.err == nil && j.synced < j.nextSeq-1 {
+				_ = j.ensureDurableLocked(j.nextSeq - 1) // failure is sticky in j.err
 			}
 			j.mu.Unlock()
 		case <-j.stop:
@@ -342,8 +451,8 @@ func (j *Journal) syncLoop() {
 	}
 }
 
-// Close syncs and closes the active segment and stops the background
-// syncer. The journal is unusable afterwards.
+// Close stops the background syncer, flushes a final fsync of the active
+// segment, and closes it. The journal is unusable afterwards.
 func (j *Journal) Close() error {
 	if j.stop != nil {
 		close(j.stop)
@@ -352,12 +461,20 @@ func (j *Journal) Close() error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.syncing {
+		j.syncCond.Wait() // an in-flight combined sync still holds the file
+	}
 	if j.f == nil {
 		return j.err
 	}
 	err := j.err
 	if err == nil {
-		err = j.syncLocked()
+		if err = j.f.Sync(); err == nil {
+			j.countSyncLocked()
+			if j.nextSeq-1 > j.synced {
+				j.synced = j.nextSeq - 1
+			}
+		}
 	}
 	if cerr := j.f.Close(); err == nil {
 		err = cerr

@@ -2,10 +2,13 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -319,6 +322,266 @@ func TestJournalSyncPoliciesAndClose(t *testing.T) {
 				t.Fatalf("replay after close: %d records, err %v", count, err)
 			}
 		})
+	}
+}
+
+// AppendGroup must land N records with contiguous sequence numbers and,
+// under SyncAlways, a single fsync for the whole group — the group-commit
+// contract the serving coordinator's drained-log appends rely on.
+func TestJournalAppendGroup(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := []GroupEntry{
+		{Mut: testMutation(1)},
+		{Mut: testMutation(2)},
+		{NewK: 7},
+		{Mut: testMutation(3)},
+	}
+	first, n, err := j.AppendGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || n <= 0 {
+		t.Fatalf("group landed at seq %d (%d bytes), want 1", first, n)
+	}
+	if got := j.Syncs(); got != 1 {
+		t.Fatalf("group of %d records issued %d fsyncs, want 1", len(group), got)
+	}
+	if got := j.Appends(); got != int64(len(group)) {
+		t.Fatalf("appends counter %d, want %d", got, len(group))
+	}
+	if first, _, err := j.AppendGroup(nil); err != nil || first != 0 {
+		t.Fatalf("empty group: seq %d, err %v", first, err)
+	}
+	if _, _, err := j.AppendMutation(testMutation(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	if _, err := Replay(dir, 0, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	if got[2].Type != RecordResize || got[2].NewK != 7 {
+		t.Fatalf("mid-group resize round-trip: %+v", got[2])
+	}
+	if !mutationsEqual(got[3].Mut, group[3].Mut) || !mutationsEqual(got[4].Mut, testMutation(9)) {
+		t.Fatal("group-framed mutations did not round-trip")
+	}
+}
+
+// A group larger than SegmentBytes must still land atomically in one
+// segment (rotation happens before the group, never inside it), and the
+// log must stay replayable across the oversized segment.
+func TestJournalAppendGroupOversized(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.AppendMutation(testMutation(0)); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]GroupEntry, 16)
+	for i := range big {
+		big[i] = GroupEntry{Mut: testMutation(i)}
+	}
+	first, _, err := j.AppendGroup(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Fatalf("group landed at %d, want 2", first)
+	}
+	if _, _, err := j.AppendMutation(testMutation(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	next, err := Replay(dir, 0, func(Record) error { count++; return nil })
+	if err != nil || count != 18 || next != 19 {
+		t.Fatalf("replayed %d records (next %d, err %v), want 18 (19)", count, next, err)
+	}
+}
+
+// Regression (ISSUE 5 satellite): Close under SyncEvery must stop the
+// background syncer and flush a final fsync even when the interval never
+// elapsed — otherwise the tail written since the last tick would ride on
+// the page cache alone after a clean shutdown.
+func TestJournalSyncEveryCloseFlushes(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{Sync: SyncEvery, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := j.AppendMutation(testMutation(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Syncs(); got != 0 {
+		t.Fatalf("%d fsyncs before the first interval tick", got)
+	}
+	done := j.done
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Syncs(); got < 1 {
+		t.Fatal("Close did not flush a final sync")
+	}
+	select {
+	case <-done:
+	default:
+		t.Fatal("Close returned with the background syncer still running")
+	}
+	if _, _, err := j.AppendMutation(testMutation(9)); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	count := 0
+	if _, err := Replay(dir, 0, func(Record) error { count++; return nil }); err != nil || count != 3 {
+		t.Fatalf("replay after close: %d records, err %v", count, err)
+	}
+}
+
+// Leader/follower fsync combining, observed deterministically by gating
+// the fsync hook: while appender A's fsync is held open, B and C write
+// their frames and park as followers; A's sync only covers what was
+// written when it STARTED, so exactly one more combined fsync — led by
+// B or C, covering both — must follow. Three concurrent SyncAlways
+// appends, exactly two fsyncs, and nobody is acknowledged before the
+// fsync that covers their record completes.
+func TestJournalFsyncCombining(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	orig := fsyncFile
+	fsyncFile = func(f *os.File) error {
+		entered <- struct{}{}
+		<-gate
+		return orig(f)
+	}
+	defer func() { fsyncFile = orig }()
+
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	appendOne := func(i int) {
+		defer wg.Done()
+		if _, _, err := j.AppendMutation(testMutation(i)); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Add(1)
+	go appendOne(0)
+	<-entered // A wrote record 1 and is the sync leader, parked in fsync
+	wg.Add(2)
+	go appendOne(1)
+	go appendOne(2)
+	// Wait until B and C have staged+written their frames (they then park
+	// as followers on the condition variable: records 2 and 3 exist but
+	// are not covered by A's in-flight sync).
+	deadline := time.Now().Add(5 * time.Second)
+	for j.NextSeq() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("followers never wrote their records")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gate <- struct{}{} // release A's fsync: covers record 1 only
+	<-entered          // one follower leads the next combined sync (records 2+3)
+	gate <- struct{}{} // release it
+	wg.Wait()
+	select {
+	case <-entered:
+		t.Fatal("a third fsync ran; followers did not share the combined sync")
+	default:
+	}
+	if got := j.Syncs(); got != 2 {
+		t.Fatalf("%d fsyncs for 3 concurrent appends, want exactly 2 (leader + one combined)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if _, err := Replay(dir, 0, func(Record) error { count++; return nil }); err != nil || count != 3 {
+		t.Fatalf("replay: %d records, err %v", count, err)
+	}
+}
+
+// Concurrent appenders under SyncAlways must all be acknowledged durable
+// with every record replaying in contiguous sequence order. Small
+// segments force rotations to interleave with in-flight combined syncs —
+// the case where an appender must restage its frames rather than rotate
+// on stale state. (Fsync sharing itself is asserted deterministically by
+// TestJournalFsyncCombining; the sync-count bound here only sanity-checks
+// that no path double-syncs.) Run with -race via make test-race.
+func TestJournalConcurrentGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, 1, Options{Sync: SyncAlways, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, _, err := j.AppendMutation(testMutation(w*perWriter + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity bound, not a combining assertion (see TestJournalFsyncCombining):
+	// each append leads at most one policy sync and rotations add one per
+	// sealed segment, so anything above that means a path double-syncs.
+	if total := j.Syncs(); total > j.Appends()+int64(len(segs)) {
+		t.Fatalf("%d fsyncs for %d appends across %d segments: some path double-syncs",
+			total, j.Appends(), len(segs))
+	}
+	if len(segs) < 2 {
+		t.Fatalf("only %d segments; rotation never interleaved with the combined syncs", len(segs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if _, err := Replay(dir, 0, func(r Record) error {
+		count++
+		if r.Seq != uint64(count) {
+			return fmt.Errorf("seq %d at position %d", r.Seq, count)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", count, writers*perWriter)
 	}
 }
 

@@ -17,6 +17,7 @@
 #
 #   scripts/bench.sh -b BenchmarkServeLookupUnderChurn -p ./internal/serve -o BENCH_pr2.json
 #   scripts/bench.sh -b BenchmarkServeMutateThroughput -p ./internal/serve -o BENCH_pr3.json
+#   scripts/bench.sh -b BenchmarkServeMutateDurable    -p ./internal/serve -o BENCH_pr5.json
 #
 # Usage: scripts/bench.sh [-l label] [-o outfile] [-c count] [-b benchmark] [-p package] [-q]
 set -euo pipefail

@@ -4,11 +4,16 @@
 #
 # Boots a durable spinnerd on a synthetic graph, drives mutation batches
 # at it over HTTP, records the pre-crash partition of a sample of
-# vertices, then kill -9s the process mid-churn. A second spinnerd over
-# the same data dir must recover (checkpoint + journal tail replay),
-# answer /healthz, report zero cut drift from the post-recovery exact
-# reconcile, and resolve every sampled vertex to a valid partition —
-# identical to the pre-crash answer for the quiesced prefix.
+# vertices, then kill -9s the process mid-churn. On top of the plain
+# crash, the script simulates dying DURING an in-flight background
+# checkpoint (ISSUE 5): the newest checkpoint file is removed — install
+# is atomic, so an interrupted checkpoint simply never appears — and a
+# torn temp file is left in the checkpoint directory. A second spinnerd
+# over the same data dir must recover (previous checkpoint + LONGER
+# journal tail replay, temp file ignored), answer /healthz, report zero
+# cut drift from the post-recovery exact reconcile, and resolve every
+# sampled vertex to a valid partition — identical to the pre-crash
+# answer for the quiesced prefix.
 #
 # Usage: scripts/recovery_smoke.sh [port]
 set -euo pipefail
@@ -41,12 +46,14 @@ stat_field() { # stat_field <jq-ish key> — crude JSON number extraction, no jq
   curl -fsS "$BASE/stats" | tr ',{}' '\n\n\n' | grep -m1 "\"$1\":" | sed 's/.*: *//'
 }
 
-echo "== boot durable spinnerd (fsync=never, checkpoint-every=4)"
+echo "== boot durable spinnerd (fsync=never, checkpoint-every=4, keep-checkpoints=2)"
 # -degrade suppresses background restabilization: an unquiesced crash
 # recovers to *a* valid state, and with relabeling events excluded that
 # state's labels must match the pre-crash lookups exactly.
+# -keep-checkpoints/-fsync-interval exercise the ISSUE-5 durability knobs.
 "$BIN" -k 4 -synthetic 2000 -seed 11 -shards 2 -addr "127.0.0.1:$PORT" \
-  -degrade 999999 -data-dir "$DIR" -fsync never -checkpoint-every 4 &
+  -degrade 999999 -data-dir "$DIR" -fsync never -fsync-interval 25ms \
+  -checkpoint-every 4 -keep-checkpoints 2 &
 PID=$!
 wait_healthy
 
@@ -79,8 +86,21 @@ kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 PID=""
 
+echo "== simulate crash during an in-flight background checkpoint"
+# The newest checkpoint never finished installing (atomic rename → it
+# simply does not exist) and the writer died mid-write (leftover .tmp).
+# Recovery must ignore the temp file, fall back to the previous retained
+# checkpoint, and replay the longer journal tail to the same answers.
+CKPTS=( "$DIR"/checkpoints/ckpt-*.ckpt )
+[ "${#CKPTS[@]}" -ge 2 ] || { echo "FAIL: need >= 2 checkpoints to lose one, have ${#CKPTS[@]}" >&2; exit 1; }
+NEWEST="${CKPTS[${#CKPTS[@]}-1]}"
+echo "   dropping $NEWEST (of ${#CKPTS[@]} checkpoints)"
+rm "$NEWEST"
+printf 'torn checkpoint write' > "$DIR/checkpoints/ckpt-0123456789abcdef.tmp"
+
 echo "== recover from $DIR"
-"$BIN" -addr "127.0.0.1:$PORT" -degrade 999999 -data-dir "$DIR" -fsync never -checkpoint-every 4 &
+"$BIN" -addr "127.0.0.1:$PORT" -degrade 999999 -data-dir "$DIR" -fsync never -fsync-interval 25ms \
+  -checkpoint-every 4 -keep-checkpoints 2 &
 PID=$!
 wait_healthy
 
@@ -89,12 +109,17 @@ DURABLE=$(stat_field durable)
 DRIFT=$(stat_field CutDrift)
 RECONCILES=$(stat_field CutReconciles)
 APPLIED_AFTER=$(stat_field applied)
-echo "   vertices=$VERTICES durable=$DURABLE applied=$APPLIED_AFTER reconciles=$RECONCILES drift=$DRIFT"
+REPLAYED=$(stat_field ReplayedRecords)
+CKPT_PENDING=$(stat_field CheckpointsPending)
+echo "   vertices=$VERTICES durable=$DURABLE applied=$APPLIED_AFTER reconciles=$RECONCILES drift=$DRIFT replayed=$REPLAYED ckpt-pending=$CKPT_PENDING"
 [ "$VERTICES" = "2000" ] || { echo "FAIL: vertex space not recovered" >&2; exit 1; }
 [ "$DURABLE" = "true" ] || { echo "FAIL: recovered store not durable" >&2; exit 1; }
 [ "$DRIFT" = "0" ] || { echo "FAIL: cut drift $DRIFT after recovery" >&2; exit 1; }
 [ "$RECONCILES" -ge 1 ] || { echo "FAIL: post-recovery reconcile never ran" >&2; exit 1; }
 [ "$APPLIED_AFTER" -ge "$APPLIED_BEFORE" ] || { echo "FAIL: applied went backwards ($APPLIED_BEFORE -> $APPLIED_AFTER)" >&2; exit 1; }
+# The fallback checkpoint covers at least -checkpoint-every fewer applied
+# batches than the one we deleted, so the replayed tail must be non-empty.
+[ "$REPLAYED" -ge 1 ] || { echo "FAIL: fallback recovery replayed nothing" >&2; exit 1; }
 
 echo "== lookup consistency on $SAMPLE"
 for v in $SAMPLE; do
