@@ -18,12 +18,21 @@
 #                      policies AND concurrent submitters — the group-commit
 #                      axis), into BENCH_pr5.json (PR 4's serial numbers
 #                      remain in BENCH_pr4.json)
+#   make bench-fairness— same gate but BenchmarkServeFairness (trickle-
+#                      tenant mutation latency with and without a flooding
+#                      tenant beside it — the weighted-fair admission
+#                      plane), into BENCH_pr6.json
 #   make bench-quick — CI benchmark smoke: every recorded benchmark runs
 #                      once (-benchtime=1x -count=1, no JSON write), so
 #                      compile/run breakage is caught without timing runs
 #   make recovery-smoke — kill -9 a durable spinnerd mid-churn, reopen the
 #                      data dir, assert /healthz + lookup consistency
 #                      (scripts/recovery_smoke.sh; also a CI job)
+#   make overload-smoke — flood a quota-limited spinnerd from one tenant,
+#                      assert honest 429s (Retry-After + typed codes) while
+#                      other tenants' writes land, then kill -9 under load
+#                      and assert recovery (scripts/overload_smoke.sh;
+#                      also a CI job)
 #
 # The serving layer (internal/serve) is a sharded store: N shards each own
 # a contiguous vertex range with incremental O(batch) cut tracking, exact-
@@ -35,10 +44,11 @@
 # clones state; encode/write/install run off the hot path). serve.Open
 # recovers after a crash, falling back past a checkpoint lost mid-write.
 # CI (.github/workflows/ci.yml) runs lint + check + bench-quick + the
-# recovery smoke on the Go version pinned in go.mod, and uploads
-# BENCH_pr4.json and BENCH_pr5.json as workflow artifacts.
+# recovery and overload smokes on the Go version pinned in go.mod, and
+# uploads BENCH_pr4.json, BENCH_pr5.json, and BENCH_pr6.json as workflow
+# artifacts.
 
-.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-quick recovery-smoke
+.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-quick recovery-smoke overload-smoke
 
 all: check
 
@@ -76,9 +86,15 @@ bench-mutate:
 bench-durable:
 	./scripts/bench.sh -l current -b BenchmarkServeMutateDurable -p ./internal/serve -o BENCH_pr5.json
 
+bench-fairness:
+	./scripts/bench.sh -l current -b BenchmarkServeFairness -p ./internal/serve -o BENCH_pr6.json
+
 bench-quick:
 	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .
-	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable)' -p ./internal/serve
+	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable|Fairness)' -p ./internal/serve
 
 recovery-smoke:
 	./scripts/recovery_smoke.sh
+
+overload-smoke:
+	./scripts/overload_smoke.sh

@@ -46,29 +46,71 @@
 // mean entries per fsync), ApplyCoalesces/CoalescedBatches, and
 // CheckpointsPending (1 while a background checkpoint is in flight).
 //
+// # Overload robustness
+//
+// The write plane is multi-tenant: /mutate batches are attributed to the
+// tenant named by the X-Tenant request header (empty = the default
+// tenant). With -quota-rate R each tenant gets a token bucket (R
+// batches/sec, burst -quota-burst) and -quota-depth caps each tenant's
+// queued backlog, so one abusive client exhausts its own quota instead
+// of the shared mutation log; the coordinator drains the per-tenant
+// backlogs deficit-round-robin, weighted by -quota-weights
+// ("teamA=4,teamB=1" CSV, unlisted tenants weigh 1), which keeps
+// well-behaved tenants' commit latency bounded while a flooder is
+// saturating its share. Refusals are honest: quota and backpressure
+// rejections return 429 with a machine-readable "code" and a
+// Retry-After header computed from the observed drain rate.
+//
+// With -degrade-lookups or -degrade-staleness set, the daemon watches
+// read-path load over an EWMA (-degrade-window) and, while overloaded,
+// spends its degradation budget deliberately: background
+// restabilization and exact cut-reconcile passes are deferred, and
+// /resize — the most expensive write — is shed with 503 + Retry-After.
+// Lookups and mutations keep flowing.
+//
+// Storage faults fail stop: if a journal write or fsync fails, the
+// affected group is never acknowledged, the journal is poisoned, and
+// the store degrades to read-only — /mutate and /resize return 503
+// {"code":"degraded"}, /healthz reports {"status":"degraded"}, and
+// lookups keep serving the last applied state. Restart to recover: the
+// journal tail holds exactly the acknowledged suffix.
+//
 // # HTTP API
 //
 // Success responses are JSON; error responses are JSON too, shaped
 // {"error": "message"} with the status carrying the class (400 malformed,
-// 404 unknown vertex, 503 backpressure/shutdown).
+// 404 unknown vertex, 429 quota/backpressure, 503 overload/fault/
+// shutdown). 429 and 503 rejections add a stable "code" field
+// (quota_exceeded, log_full, overloaded, degraded, k_unchanged,
+// unavailable) and, where a backoff hint exists, a Retry-After header
+// (whole seconds).
 //
 //	GET  /lookup?v=ID      → 200 {"vertex":ID,"partition":P,"version":V,"k":K}
 //	                         400 {"error":"bad vertex id"} | 404 {"error":"vertex not found"}
 //	POST /mutate           → 202 {"queued":true,"adds":A,"removes":R,"vertices":N}
-//	                         400 {"error":"line L: ..."} | 503 {"error":"serve: mutation log full"}
+//	                         400 {"error":"line L: ..."}
+//	                         429 {"error":...,"code":"quota_exceeded"|"log_full"} + Retry-After
+//	                         503 {"error":...,"code":"degraded"|"unavailable"}
+//	                         headers: X-Tenant names the submitting tenant
 //	                         body: one op per line:
 //	                           + u v [w]   add undirected edge {u,v} (weight w, default 2)
 //	                           - u v       remove undirected edge {u,v}
 //	                           v n         append n vertices
 //	POST /resize?k=K       → 202 {"queued":true,"k":K}
-//	                         400 {"error":"bad k"|"k unchanged"} | 503 {"error":...}
+//	                         400 {"error":"bad k"} | 400 {"error":"k unchanged","code":"k_unchanged"}
+//	                         503 {"error":...,"code":"overloaded"|"degraded"|"unavailable"}
 //	GET  /stats            → 200 snapshot + serving counters (JSON), including the
 //	                         durability counters (journal appends/bytes/fsyncs,
 //	                         checkpoints, replayed records), the commit-pipeline
 //	                         counters (GroupCommits/GroupedEntries, ApplyCoalesces/
-//	                         CoalescedBatches, CheckpointsPending), "durable" and
-//	                         the derived "journal_group_depth"
-//	GET  /healthz          → 200 once serving
+//	                         CoalescedBatches, CheckpointsPending), "durable",
+//	                         the derived "journal_group_depth", and the overload
+//	                         view: "degraded", "overloaded", "drain_rate",
+//	                         "lookup_rate" and the per-tenant "tenants" map
+//	                         (weight, submitted/committed/rejected/quota_rejected,
+//	                         backlog)
+//	GET  /healthz          → 200 once serving | 503 {"status":"degraded"} after a
+//	                         storage fault
 //
 // With -demo D the daemon skips the listener, drives synthetic churn
 // against the store for duration D while hammering lookups, prints the
@@ -123,6 +165,14 @@ type daemonConfig struct {
 	fsyncInterval   time.Duration
 	checkpointEvery int
 	keepCheckpoints int
+
+	quotaRate        float64
+	quotaBurst       float64
+	quotaDepth       int
+	quotaWeights     string
+	degradeLookups   float64
+	degradeStaleness float64
+	degradeWindow    time.Duration
 }
 
 func main() {
@@ -145,6 +195,13 @@ func main() {
 	flag.DurationVar(&dc.fsyncInterval, "fsync-interval", 50*time.Millisecond, "background fsync period under -fsync interval")
 	flag.IntVar(&dc.checkpointEvery, "checkpoint-every", 4096, "applied batches between checkpoints (negative disables periodic checkpoints)")
 	flag.IntVar(&dc.keepCheckpoints, "keep-checkpoints", 2, "newest checkpoints retained; the journal is truncated below the oldest kept")
+	flag.Float64Var(&dc.quotaRate, "quota-rate", 0, "per-tenant mutation admission rate (batches/sec; 0 disables quotas)")
+	flag.Float64Var(&dc.quotaBurst, "quota-burst", 0, "per-tenant admission burst (0 = max(1, quota-rate))")
+	flag.IntVar(&dc.quotaDepth, "quota-depth", 0, "per-tenant backlog cap for non-blocking submits (0 = unlimited)")
+	flag.StringVar(&dc.quotaWeights, "quota-weights", "", "fair-drain weights as tenant=weight CSV (unlisted tenants weigh 1)")
+	flag.Float64Var(&dc.degradeLookups, "degrade-lookups", 0, "lookups/sec above which maintenance defers and /resize sheds (0 disables)")
+	flag.Float64Var(&dc.degradeStaleness, "degrade-staleness", 0, "mean lookup staleness (batches) above which overload engages (0 disables)")
+	flag.DurationVar(&dc.degradeWindow, "degrade-window", 100*time.Millisecond, "EWMA window for the overload detector")
 	flag.Parse()
 	if err := run(dc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spinnerd:", err)
@@ -160,7 +217,15 @@ func run(dc daemonConfig, out io.Writer) error {
 		shards = min(runtime.GOMAXPROCS(0), 8)
 	}
 	opts := core.Options{K: dc.k, C: dc.c, Seed: dc.seed, NumWorkers: dc.workers, MaxIterations: dc.maxIter}
-	cfg := serve.Config{Options: opts, LogDepth: dc.logDepth, DegradeFactor: dc.degrade, Shards: shards}
+	weights, err := parseWeights(dc.quotaWeights)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Options: opts, LogDepth: dc.logDepth, DegradeFactor: dc.degrade, Shards: shards,
+		Quota:    serve.QuotaConfig{Rate: dc.quotaRate, Burst: dc.quotaBurst, TenantDepth: dc.quotaDepth, Weights: weights},
+		Overload: serve.OverloadConfig{LookupRate: dc.degradeLookups, Staleness: dc.degradeStaleness, Window: dc.degradeWindow},
+	}
 
 	loadGraph := func() (*graph.Graph, error) {
 		if dc.synthetic > 0 {
@@ -315,6 +380,14 @@ func describe(s *serve.Snapshot) string {
 func newMux(st *serve.Store) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if st.Degraded() {
+			payload := map[string]any{"status": "degraded"}
+			if err := st.Err(); err != nil {
+				payload["error"] = err.Error()
+			}
+			writeJSON(w, http.StatusServiceUnavailable, payload)
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
@@ -338,8 +411,19 @@ func newMux(st *serve.Store) *http.ServeMux {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		mut.Tenant = r.Header.Get("X-Tenant")
 		if err := st.TrySubmit(mut); err != nil {
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			var qe *serve.QuotaError
+			switch {
+			case errors.As(err, &qe):
+				writeErrorCode(w, http.StatusTooManyRequests, "quota_exceeded", err.Error(), qe.RetryAfter)
+			case errors.Is(err, serve.ErrLogFull):
+				writeErrorCode(w, http.StatusTooManyRequests, "log_full", err.Error(), st.RetryAfter())
+			case errors.Is(err, serve.ErrDegraded):
+				writeErrorCode(w, http.StatusServiceUnavailable, "degraded", err.Error(), 0)
+			default:
+				writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
+			}
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true,
@@ -351,12 +435,25 @@ func newMux(st *serve.Store) *http.ServeMux {
 			writeError(w, http.StatusBadRequest, "bad k")
 			return
 		}
-		if k == st.K() {
-			writeError(w, http.StatusBadRequest, "k unchanged")
+		// Resizes are the most expensive write (global relabel + repair
+		// runs); under overload they are shed outright so the degradation
+		// budget is spent on keeping lookups and mutations flowing.
+		if st.Overloaded() {
+			st.Counters().ShedRequests.Add(1)
+			writeErrorCode(w, http.StatusServiceUnavailable, "overloaded", "serve: overloaded; resize shed", st.RetryAfter())
 			return
 		}
 		if err := st.Resize(k); err != nil {
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			switch {
+			case errors.Is(err, serve.ErrKUnchanged):
+				// The unchanged-k check lives inside Resize so concurrent
+				// duplicate resizes race atomically, not via a stale K().
+				writeErrorCode(w, http.StatusBadRequest, "k_unchanged", "k unchanged", 0)
+			case errors.Is(err, serve.ErrDegraded):
+				writeErrorCode(w, http.StatusServiceUnavailable, "degraded", err.Error(), 0)
+			default:
+				writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
+			}
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "k": k})
@@ -380,6 +477,11 @@ func newMux(st *serve.Store) *http.ServeMux {
 			// amortizing each fsync under -fsync always.
 			"journal_group_depth": ctr.GroupCommitDepth(),
 			"counters":            ctr,
+			"degraded":            st.Degraded(),
+			"overloaded":          st.Overloaded(),
+			"drain_rate":          st.DrainRate(),
+			"lookup_rate":         st.LookupRate(),
+			"tenants":             st.Tenants(),
 		}
 		if err := st.Err(); err != nil {
 			payload["last_error"] = err.Error()
@@ -399,6 +501,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // {"error": msg} with the status carrying the class.
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]any{"error": msg})
+}
+
+// writeErrorCode is writeError plus a stable machine-readable "code"
+// field and, when retryAfter > 0, a Retry-After header carrying an
+// honest backoff hint (whole seconds, minimum 1) computed from the
+// store's observed drain rate.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int(retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, map[string]any{"error": msg, "code": code})
+}
+
+// parseWeights parses the -quota-weights "tenant=weight,..." CSV.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		w, err := strconv.Atoi(val)
+		if !ok || name == "" || err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -quota-weights entry %q, want tenant=weight with weight >= 1", pair)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 // parseMutation reads the /mutate line protocol.

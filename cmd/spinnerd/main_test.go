@@ -2,15 +2,20 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func testStore(t *testing.T, k int) *serve.Store {
@@ -322,6 +327,274 @@ func TestDurableDemoBootstrapAndRecover(t *testing.T) {
 	}
 	if !strings.Contains(out, "recovered 800 vertices") {
 		t.Fatalf("recovery lost the vertex space:\n%s", out)
+	}
+}
+
+// A tenant past its token-bucket quota gets 429 with the stable
+// machine-readable code, an honest Retry-After header, and per-tenant
+// accounting in /stats; other tenants are unaffected.
+func TestHTTPQuotaRejection(t *testing.T) {
+	opts := core.DefaultOptions(4)
+	opts.Seed = 7
+	opts.NumWorkers = 2
+	opts.MaxIterations = 30
+	cfg := serve.Config{Options: opts,
+		Quota: serve.QuotaConfig{Rate: 0.001, Burst: 1}}
+	st, err := serve.Bootstrap(gen.WattsStrogatz(600, 8, 0.2, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+
+	mutate := func(tenant string) *http.Response {
+		req, err := http.NewRequest("POST", srv.URL+"/mutate", strings.NewReader("+ 1 2\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := mutate("alpha"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first alpha mutate status %d, want 202", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	resp := mutate("alpha") // burst of 1 spent, refill ~17 min away
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second alpha mutate status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want whole seconds >= 1", ra)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil || body.Code != "quota_exceeded" || body.Error == "" {
+		t.Fatalf("429 body = %+v, err %v; want code quota_exceeded", body, err)
+	}
+
+	// A different tenant has its own bucket and sails through.
+	if resp := mutate("beta"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("beta mutate status %d, want 202", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	r, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats struct {
+		Tenants map[string]struct {
+			Submitted     int64 `json:"submitted"`
+			QuotaRejected int64 `json:"quota_rejected"`
+		} `json:"tenants"`
+		Counters struct {
+			QuotaRejections int64
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	alpha := stats.Tenants["alpha"]
+	if alpha.Submitted != 1 || alpha.QuotaRejected != 1 {
+		t.Fatalf("alpha stats %+v, want submitted=1 quota_rejected=1", alpha)
+	}
+	if beta := stats.Tenants["beta"]; beta.Submitted != 1 || beta.QuotaRejected != 0 {
+		t.Fatalf("beta stats %+v, want submitted=1 quota_rejected=0", beta)
+	}
+	if stats.Counters.QuotaRejections != 1 {
+		t.Fatalf("QuotaRejections = %d, want 1", stats.Counters.QuotaRejections)
+	}
+}
+
+// While the store is overloaded, /resize is shed with 503 + Retry-After
+// and the shed is counted; lookups and mutations keep flowing.
+func TestHTTPResizeShedUnderOverload(t *testing.T) {
+	opts := core.DefaultOptions(4)
+	opts.Seed = 7
+	opts.NumWorkers = 2
+	opts.MaxIterations = 30
+	cfg := serve.Config{Options: opts,
+		Overload: serve.OverloadConfig{LookupRate: 1, Window: 5 * time.Millisecond}}
+	st, err := serve.Bootstrap(gen.WattsStrogatz(600, 8, 0.2, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+
+	// Hammer lookups until the EWMA detector trips (well above 1/sec).
+	deadline := time.Now().Add(5 * time.Second)
+	for !st.Overloaded() {
+		if time.Now().After(deadline) {
+			t.Fatal("overload detector never tripped")
+		}
+		for v := 0; v < 500; v++ {
+			st.Lookup(graph.VertexID(v))
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/resize?k=6", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded resize status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed resize without Retry-After header")
+	}
+	var body struct {
+		Code string `json:"code"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil || body.Code != "overloaded" {
+		t.Fatalf("shed body code = %q, err %v; want overloaded", body.Code, err)
+	}
+	if got := st.Counters().ShedRequests.Load(); got < 1 {
+		t.Fatalf("ShedRequests = %d, want >= 1", got)
+	}
+
+	// Mutations still flow while overloaded.
+	r, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader("v 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("mutate while overloaded status %d, want 202", r.StatusCode)
+	}
+}
+
+// After an injected storage fault the daemon fails stop: /healthz flips
+// to 503 {"status":"degraded"}, writes refuse with code "degraded", and
+// lookups keep serving the last applied state.
+func TestHTTPDegradedAfterStorageFault(t *testing.T) {
+	opts := core.DefaultOptions(4)
+	opts.Seed = 7
+	opts.NumWorkers = 2
+	opts.MaxIterations = 30
+	cfg := serve.Config{Options: opts, Shards: 2,
+		Durability: serve.DurabilityConfig{Fsync: wal.SyncNever}}
+	st, err := serve.BootstrapDurable(t.TempDir(), gen.WattsStrogatz(600, 8, 0.2, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+
+	restore := wal.InjectFaults(func(*os.File, []byte) (int, error) {
+		return 0, errors.New("injected: disk gone")
+	}, nil)
+	defer restore()
+
+	// The faulted write happens on the coordinator after the 202; poll
+	// until the fail-stop transition lands.
+	r, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader("v 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("mutate status %d, want 202", r.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !st.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("store never degraded after injected journal fault")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz status %d, want 503", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil || health.Status != "degraded" {
+		t.Fatalf("healthz body status = %q, err %v; want degraded", health.Status, err)
+	}
+
+	for _, tc := range []struct{ path, body string }{
+		{"/mutate", "v 1\n"},
+		{"/resize?k=6", ""},
+	} {
+		resp, err := http.Post(srv.URL+tc.path, "text/plain", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Code string `json:"code"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || derr != nil || body.Code != "degraded" {
+			t.Fatalf("POST %s while degraded: status %d code %q err %v; want 503 degraded",
+				tc.path, resp.StatusCode, body.Code, derr)
+		}
+	}
+
+	// The read path is unaffected.
+	lr, err := http.Get(srv.URL + "/lookup?v=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if lr.StatusCode != http.StatusOK {
+		t.Fatalf("lookup while degraded status %d, want 200", lr.StatusCode)
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("teamA=4, teamB=1,default=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"teamA": 4, "teamB": 1, "default": 2}
+	if len(w) != len(want) {
+		t.Fatalf("parsed %v, want %v", w, want)
+	}
+	for k, v := range want {
+		if w[k] != v {
+			t.Fatalf("parsed %v, want %v", w, want)
+		}
+	}
+	if w, err := parseWeights(""); err != nil || w != nil {
+		t.Fatalf("empty weights = %v, %v; want nil, nil", w, err)
+	}
+	for _, bad := range []string{"teamA", "teamA=", "teamA=0", "teamA=-1", "teamA=x", "=3", "a=1,,b=2"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Fatalf("parseWeights(%q) accepted", bad)
+		}
 	}
 }
 

@@ -15,6 +15,12 @@ type Mutation struct {
 	// RemovedEdges are undirected edges to delete. Removing an absent edge
 	// is an error (it indicates a stale batch).
 	RemovedEdges []Edge
+	// Tenant optionally tags the batch with the submitting tenant, used by
+	// the serving layer (internal/serve) for admission control and
+	// weighted-fair draining. It is an admission-time attribute, not part
+	// of the graph delta: the binary journal encoding does not carry it,
+	// and recovery replays records under the default tenant.
+	Tenant string
 }
 
 // WeightedEdgeRecord is an undirected edge with an explicit weight.

@@ -110,6 +110,23 @@ type ServeCounters struct {
 	// CheckpointsPending is a 0/1 gauge: 1 while a captured checkpoint is
 	// being encoded/written/installed by the background checkpointer.
 	CheckpointsPending atomic.Int64
+
+	// Overload-robustness path (admission control + degradation budget).
+
+	// QuotaRejections counts submissions refused by per-tenant token-bucket
+	// admission control (never enqueued, never journaled).
+	QuotaRejections atomic.Int64
+	// ShedRequests counts HTTP requests shed under overload with 503 +
+	// Retry-After (currently /resize, the most expensive write).
+	ShedRequests atomic.Int64
+	// DeferredRestabs and DeferredReconciles count maintenance passes the
+	// degradation budget pushed back because the store was overloaded —
+	// one per deferral episode, not per skipped turn.
+	DeferredRestabs    atomic.Int64
+	DeferredReconciles atomic.Int64
+	// FairnessPasses counts deficit-round-robin passes over the tenant
+	// ring when the coordinator forms a commit group from the backlog.
+	FairnessPasses atomic.Int64
 }
 
 // ServeSnapshot is a plain-value copy of ServeCounters.
@@ -129,6 +146,9 @@ type ServeSnapshot struct {
 	GroupCommits, GroupedEntries            int64
 	ApplyCoalesces, CoalescedBatches        int64
 	CheckpointsPending                      int64
+	QuotaRejections, ShedRequests           int64
+	DeferredRestabs, DeferredReconciles     int64
+	FairnessPasses                          int64
 }
 
 // Snapshot copies every counter.
@@ -166,6 +186,12 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		CoalescedBatches: c.CoalescedBatches.Load(),
 
 		CheckpointsPending: c.CheckpointsPending.Load(),
+
+		QuotaRejections:    c.QuotaRejections.Load(),
+		ShedRequests:       c.ShedRequests.Load(),
+		DeferredRestabs:    c.DeferredRestabs.Load(),
+		DeferredReconciles: c.DeferredReconciles.Load(),
+		FairnessPasses:     c.FairnessPasses.Load(),
 	}
 }
 
@@ -191,7 +217,7 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, pending %d) replayed=%d",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, pending %d) replayed=%d quota-rej=%d shed=%d deferred=%d/%d fair=%d",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
 		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
@@ -200,5 +226,7 @@ func (s ServeSnapshot) String() string {
 		s.CutReconciles, s.CutDrift, s.ShardRebalances,
 		s.JournalAppends, s.JournalBytes, s.JournalSyncs,
 		s.GroupCommits, s.GroupCommitDepth(), s.CoalescedBatches, s.ApplyCoalesces,
-		s.Checkpoints, s.CheckpointBytes, s.CheckpointsPending, s.ReplayedRecords)
+		s.Checkpoints, s.CheckpointBytes, s.CheckpointsPending, s.ReplayedRecords,
+		s.QuotaRejections, s.ShedRequests, s.DeferredRestabs, s.DeferredReconciles,
+		s.FairnessPasses)
 }

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -302,6 +305,128 @@ func BenchmarkServeMutateDurable(b *testing.B) {
 				b.ReportMetric(float64(c.JournalSyncs), "fsyncs")
 				b.ReportMetric(c.GroupCommitDepth(), "group-depth")
 			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkServeFairness measures a well-behaved tenant's submit→commit
+// latency (ns/op, with the p99 tail as p99-ns) with and without an
+// abusive tenant flooding the mutation log — the multi-tenancy gate of
+// ISSUE 6, recorded in BENCH_pr6.json. The trickle tenant submits one
+// batch at a time and waits for it to commit; under flood=on a second
+// goroutine fires TrySubmit as fast as the log accepts (typically two
+// orders of magnitude more batches than the trickle tenant), relying on
+// the deficit-round-robin drain to bound the trickle tenant's wait to
+// one coordinator turn. The gate: flood=on ns/op within ~2x of
+// flood=off.
+func BenchmarkServeFairness(b *testing.B) {
+	const n, batchEdges = 20000, 64
+	g := gen.WattsStrogatz(n, 10, 0.2, 51)
+	w := graph.Convert(g)
+	opts := core.DefaultOptions(8)
+	opts.Seed = 51
+	opts.MaxIterations = 30
+	p, err := core.NewPartitioner(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := p.PartitionWeighted(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(5151)
+	batches := make([]*graph.Mutation, 64)
+	for i := range batches {
+		m := &graph.Mutation{NewEdges: make([]graph.WeightedEdgeRecord, 0, batchEdges)}
+		for len(m.NewEdges) < batchEdges {
+			u, v := graph.VertexID(src.Intn(n)), graph.VertexID(src.Intn(n))
+			if u != v {
+				m.NewEdges = append(m.NewEdges, graph.WeightedEdgeRecord{U: u, V: v, Weight: 2})
+			}
+		}
+		batches[i] = m
+	}
+
+	for _, tc := range []struct {
+		name  string
+		flood bool
+	}{
+		{"flood=off", false},
+		{"flood=on", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			st, err := New(w.Clone(), append([]int32(nil), res.Labels...), Config{
+				Options:        opts,
+				Shards:         2,
+				DegradeFactor:  1e9, // isolate the write plane
+				MidRunOff:      true,
+				ReconcileEvery: -1,
+				LogDepth:       16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var floodDone chan struct{}
+			if tc.flood {
+				floodDone = make(chan struct{})
+				go func() {
+					defer close(floodDone)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						m := *batches[i%len(batches)] // shallow copy: retag only
+						m.Tenant = "flood"
+						if err := st.TrySubmit(&m); errors.Is(err, ErrLogFull) {
+							// Back off instead of hot-spinning: a spin loop
+							// would measure CPU starvation of the shard
+							// goroutines, not queueing fairness.
+							time.Sleep(20 * time.Microsecond)
+						} else if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+
+			trickle := st.tenant("trickle")
+			samples := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := *batches[i%len(batches)]
+				m.Tenant = "trickle"
+				start := time.Now()
+				if err := st.Submit(&m); err != nil {
+					b.Fatal(err)
+				}
+				want := int64(i + 1)
+				for trickle.committed.Load() < want {
+					time.Sleep(10 * time.Microsecond)
+				}
+				samples = append(samples, time.Since(start))
+			}
+			b.StopTimer()
+			close(stop)
+			if floodDone != nil {
+				<-floodDone
+			}
+			if err := st.Quiesce(); err != nil {
+				b.Fatal(err)
+			}
+			slices.Sort(samples)
+			b.ReportMetric(float64(samples[len(samples)*99/100]), "p99-ns")
+			if tc.flood {
+				fl := st.Tenants()["flood"]
+				b.ReportMetric(float64(fl.Committed)/float64(b.N), "flood-ratio")
+			}
+			b.ReportMetric(float64(st.ctr.FairnessPasses.Load()), "fair-passes")
 			if err := st.Close(); err != nil {
 				b.Fatal(err)
 			}

@@ -59,6 +59,7 @@ package serve
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -254,11 +255,16 @@ func Open(dir string, cfg Config) (*Store, error) {
 	next, err := wal.Replay(journalDir(dir), seq, func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecordMutation:
-			if err := s.Submit(rec.Mut); err != nil {
+			// submitReplay bypasses admission: these records were admitted
+			// by the live process that journaled them.
+			if err := s.submitReplay(rec.Mut); err != nil {
 				return err
 			}
 		case wal.RecordResize:
-			if err := s.Resize(rec.NewK); err != nil {
+			// Journals written before Resize claimed the target k can hold
+			// duplicate resizes (the coordinator dropped them as no-ops);
+			// replaying one is likewise a no-op.
+			if err := s.Resize(rec.NewK); err != nil && !errors.Is(err, ErrKUnchanged) {
 				return err
 			}
 		default:
@@ -359,7 +365,21 @@ func (s *Store) journalGroup(entries []logEntry) bool {
 			if e.mut != nil && e.newK == 0 {
 				s.ctr.BatchesRejected.Add(1)
 				s.applied.Add(1) // resolved, though rejected
+				if e.ten != nil {
+					e.ten.rejected.Add(1)
+				}
 			}
+		}
+		// Fail stop on storage faults: a poisoned journal (sticky write or
+		// fsync error) can never append again, so continuing to accept
+		// writes would either silently drop durability or reject every
+		// batch one group at a time. Flip to degraded — the write paths
+		// refuse with ErrDegraded, checkpoints stop (the journal tail on
+		// disk stays the authoritative suffix), and lookups keep serving
+		// the last published snapshots. Per-call rejections that do NOT
+		// poison the journal (an oversized record) degrade nothing.
+		if s.d.jrn.Err() != nil {
+			s.degraded.Store(true)
 		}
 		return false
 	}
@@ -377,7 +397,7 @@ func (s *Store) journalGroup(entries []logEntry) bool {
 // failed one re-arms at the next cadence point (see ckptResult), with
 // the journal carrying every entry in the meantime.
 func (s *Store) maybeCheckpoint() {
-	if s.d == nil || !s.d.active || s.d.cfg.CheckpointEvery <= 0 || s.d.pending {
+	if s.d == nil || !s.d.active || s.d.cfg.CheckpointEvery <= 0 || s.d.pending || s.degraded.Load() {
 		return
 	}
 	if s.applied.Load()-s.d.ckptApplied < int64(s.d.cfg.CheckpointEvery) {
@@ -472,7 +492,11 @@ func (s *Store) finishDurable() {
 	if s.d.pending {
 		s.finishCheckpoint(<-s.ckptDone)
 	}
-	if s.d.active && !s.d.cfg.NoFinalCheckpoint {
+	// A degraded store skips the final checkpoint too: the journal tail
+	// on disk is the authoritative suffix of the history, and a
+	// checkpoint taken after the fault could cover acknowledged state the
+	// poisoned journal never recorded the successor of.
+	if s.d.active && !s.d.cfg.NoFinalCheckpoint && !s.degraded.Load() {
 		if err := s.checkpointNow(); err != nil {
 			err = fmt.Errorf("serve: final checkpoint: %w", err)
 			s.lastErr.Store(&err)
@@ -739,6 +763,7 @@ func newStoreFromCheckpoint(st *ckptState, cfg Config) (*Store, error) {
 		w:               st.w,
 		labels:          st.labels,
 		k:               st.k,
+		targetK:         st.k,
 		gen:             st.gen,
 		epoch:           st.epoch,
 		baseline:        st.baseline,

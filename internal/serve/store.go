@@ -62,7 +62,9 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -115,6 +117,12 @@ type Config struct {
 	// durable constructors (NewDurable, BootstrapDurable, Open) read it;
 	// New and Bootstrap build in-memory stores regardless.
 	Durability DurabilityConfig
+	// Quota tunes per-tenant admission control and fair draining; the
+	// zero value admits everything and weighs all tenants equally.
+	Quota QuotaConfig
+	// Overload tunes the degradation budget; the zero value never
+	// declares overload.
+	Overload OverloadConfig
 }
 
 func (c *Config) normalize() error {
@@ -156,7 +164,10 @@ func (c *Config) normalize() error {
 	if c.ReconcileEvery == 0 {
 		c.ReconcileEvery = 512
 	}
-	return nil
+	if err := c.Quota.normalize(); err != nil {
+		return err
+	}
+	return c.Overload.normalize()
 }
 
 // Snapshot is an immutable composed view of the partitioning. Lookups
@@ -207,6 +218,8 @@ type logEntry struct {
 	quiesce   chan error // non-nil: reply when drained and stable
 	attach    *attachReq // non-nil: adopt the journal after replay
 	reconcile chan error // non-nil: run the exact pass now and reply
+	ten       *tenantState
+	seq       uint64 // arrival order, stamped by route; restores FIFO after DRR picking
 }
 
 // restabResult carries a completed background run back to the loop.
@@ -245,6 +258,24 @@ type Store struct {
 	closed    chan struct{} // closes when Close is called
 	done      chan struct{} // closes when the coordinator exits
 
+	// Admission state, shared between submitters and the coordinator.
+	tenantsMu sync.Mutex
+	tenants   map[string]*tenantState // lazily created on first submission
+	now       func() time.Time        // test clock; nil means time.Now
+
+	// Resize target: the current k composed with every queued resize.
+	// Resize claims newK against it atomically, so a duplicate request
+	// fails typed (ErrKUnchanged) instead of racing the coordinator.
+	kMu     sync.Mutex
+	targetK int
+
+	// Overload / fail-stop state (written by the coordinator, read
+	// anywhere).
+	degraded   atomic.Bool   // journal poisoned; writes refuse with ErrDegraded
+	overloaded atomic.Bool   // degradation budget engaged
+	drainRate  atomic.Uint64 // EWMA resolved batches/sec (float64 bits)
+	lookupRate atomic.Uint64 // EWMA lookups/sec (float64 bits)
+
 	// Coordinator state (no locks: single owner between barriers).
 	w               *graph.Weighted
 	labels          []int32
@@ -265,6 +296,19 @@ type Store struct {
 	ckptDone        chan ckptResult // capacity 1; background checkpointer reply
 	quiescers       []chan error
 	d               *durable // nil on in-memory stores
+
+	// Fair-drain state (coordinator-only).
+	ring              []*tenantState // tenants with a registered queue, first-seen order
+	cursor            int            // DRR rotation point in ring
+	controlQ          []logEntry     // routed control entries awaiting the next group
+	queued            int            // mutation entries parked in tenant queues
+	arrival           uint64         // monotonic arrival stamp
+	groupBuf          []logEntry     // group-formation buffer, reused across turns
+	loadAt            time.Time      // load-sampling state (updateLoad)
+	loadLookups       int64
+	loadApplied       int64
+	restabDeferred    bool // current overload episode already counted a deferred restab
+	reconcileDeferred bool
 }
 
 // New builds a Store over an already-partitioned weighted graph. The Store
@@ -305,6 +349,7 @@ func newStore(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 		w:          w,
 		labels:     labels,
 		k:          cfg.Options.K,
+		targetK:    cfg.Options.K,
 		affected:   make(map[graph.VertexID]struct{}),
 		restabDone: make(chan restabResult, 1),
 		midrun:     make(chan midrunNote, 1),
@@ -486,34 +531,52 @@ func (s *Store) Err() error {
 }
 
 // Submit appends a mutation batch to the log, blocking for backpressure
-// while the log is full. The Store takes ownership of m. Returns ErrClosed
-// after Close.
+// while the log is full. The Store takes ownership of m; m.Tenant
+// attributes the batch for admission control and fair draining (empty is
+// the default tenant). Returns ErrClosed after Close, ErrDegraded after
+// a storage fault, and a QuotaError (errors.Is ErrQuotaExceeded) when
+// the tenant's admission bucket is empty.
 func (s *Store) Submit(m *graph.Mutation) error {
 	select {
 	case <-s.closed:
 		return ErrClosed
 	default:
 	}
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+	t := s.tenant(m.Tenant)
+	if err := s.admit(t, false); err != nil {
+		return err
+	}
 	select {
-	case s.log <- logEntry{mut: m}:
-		s.submitted.Add(1)
+	case s.log <- logEntry{mut: m, ten: t}:
+		s.noteSubmitted(t)
 		return nil
 	case <-s.closed:
 		return ErrClosed
 	}
 }
 
-// TrySubmit is the non-blocking Submit: ErrLogFull when the bounded log is
-// at capacity.
+// TrySubmit is the non-blocking Submit: ErrLogFull when the bounded log
+// is at capacity or the tenant's backlog cap (Quota.TenantDepth) is
+// reached.
 func (s *Store) TrySubmit(m *graph.Mutation) error {
 	select {
 	case <-s.closed:
 		return ErrClosed
 	default:
 	}
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+	t := s.tenant(m.Tenant)
+	if err := s.admit(t, true); err != nil {
+		return err
+	}
 	select {
-	case s.log <- logEntry{mut: m}:
-		s.submitted.Add(1)
+	case s.log <- logEntry{mut: m, ten: t}:
+		s.noteSubmitted(t)
 		return nil
 	case <-s.closed:
 		return ErrClosed
@@ -522,11 +585,41 @@ func (s *Store) TrySubmit(m *graph.Mutation) error {
 	}
 }
 
+// submitReplay is Submit without admission control: recovery (Open)
+// replays records the live process already admitted and journaled, and
+// quota state is not persisted, so re-running admission could refuse a
+// durably committed record.
+func (s *Store) submitReplay(m *graph.Mutation) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	t := s.tenant(m.Tenant)
+	select {
+	case s.log <- logEntry{mut: m, ten: t}:
+		s.noteSubmitted(t)
+		return nil
+	case <-s.closed:
+		return ErrClosed
+	}
+}
+
+// noteSubmitted counts one admitted batch against the store and tenant.
+func (s *Store) noteSubmitted(t *tenantState) {
+	s.submitted.Add(1)
+	t.submitted.Add(1)
+	t.backlog.Add(1)
+}
+
 // Resize requests an elastic change to newK partitions (§III-E). The
 // relabeling of the n/(k+n) fraction is applied as soon as the entry is
 // processed — lookups immediately see valid [0,newK) labels — and a
 // background repair run restores locality. Ordered with Submit through the
-// same log.
+// same log. Requesting the store's target k — the current count composed
+// with every resize already queued — returns ErrKUnchanged; the check is
+// atomic with the coordinator, so concurrent duplicate requests cannot
+// both pass it.
 func (s *Store) Resize(newK int) error {
 	if newK < 1 {
 		return fmt.Errorf("serve: resize to k=%d", newK)
@@ -536,10 +629,28 @@ func (s *Store) Resize(newK int) error {
 		return ErrClosed
 	default:
 	}
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+	s.kMu.Lock()
+	if newK == s.targetK {
+		s.kMu.Unlock()
+		return ErrKUnchanged
+	}
+	prev := s.targetK
+	s.targetK = newK
+	s.kMu.Unlock()
 	select {
 	case s.log <- logEntry{newK: newK}:
 		return nil
 	case <-s.closed:
+		// The claim never reached the log; restore it unless another
+		// Resize raced past us (then the target is theirs to keep).
+		s.kMu.Lock()
+		if s.targetK == newK {
+			s.targetK = prev
+		}
+		s.kMu.Unlock()
 		return ErrClosed
 	}
 }
@@ -670,21 +781,35 @@ func (s *Store) finishBatch(tr *batchTracker) {
 
 // loop is the coordinator: sole owner of the authoritative graph topology
 // and labels (jointly with the shards, exclusively under barriers). Each
-// turn drains the whole pending log and pushes it through the commit
-// pipeline (journal group → coalesced apply) as one unit.
+// turn transfers what is pending in the log into the per-tenant fair
+// queues, forms a commit group (deficit-round-robin across tenants,
+// capped at LogDepth — see nextGroup) and pushes it through the commit
+// pipeline (journal group → coalesced apply) as one unit. When the
+// degradation budget is enabled a ticker wakes the loop every sampling
+// window, so overload engages and clears on time even with no traffic.
 func (s *Store) loop() {
 	defer close(s.done)
-	var pending []logEntry // drain buffer, reused across turns
+	var tickC <-chan time.Time
+	if s.cfg.Overload.enabled() {
+		t := time.NewTicker(s.cfg.Overload.Window)
+		defer t.Stop()
+		tickC = t.C
+	}
 	for {
+		s.updateLoad(s.clock())
 		s.maybeReconcile()
 		s.maybeCheckpoint()
 		s.maybeRestabilize()
 		s.maybeReleaseQuiescers()
+		s.transferLog()
+		if g := s.nextGroup(); len(g) > 0 {
+			s.handleGroup(g)
+			clear(g) // drop batch references; the buffer outlives the turn
+			continue
+		}
 		select {
 		case e := <-s.log:
-			pending = s.drainLog(append(pending[:0], e))
-			s.handleGroup(pending)
-			clear(pending) // drop batch references; the buffer outlives the turn
+			s.route(e)
 		case <-s.batchDone:
 			// Fast-path batches resolved; loop to re-evaluate triggers.
 		case res := <-s.restabDone:
@@ -693,6 +818,8 @@ func (s *Store) loop() {
 			s.mergeMidrun(note)
 		case res := <-s.ckptDone:
 			s.finishCheckpoint(res)
+		case <-tickC:
+			// Load-sampling tick; updateLoad runs at the top of the turn.
 		case <-s.closed:
 			s.drainAndExit()
 			return
@@ -700,26 +827,9 @@ func (s *Store) loop() {
 	}
 }
 
-// drainLog moves what is currently queued in the mutation log into
-// pending without blocking — the group the commit pipeline will journal
-// and apply as one unit. The drain is capped at LogDepth entries per
-// turn: each receive frees a channel slot that a blocked Submit refills,
-// so an uncapped loop could grow the group (and the journal staging
-// buffer sized to it) without bound under sustained pressure.
-func (s *Store) drainLog(pending []logEntry) []logEntry {
-	for len(pending) < s.cfg.LogDepth {
-		select {
-		case e := <-s.log:
-			pending = append(pending, e)
-		default:
-			return pending
-		}
-	}
-	return pending
-}
-
 // drainAndExit waits out an in-flight run (discarding it), stops the
-// shards, fails pending quiescers, and drops unprocessed log entries.
+// shards, fails pending quiescers and queued controls, and drops
+// unprocessed mutation entries (from the channel and the fair queues).
 func (s *Store) drainAndExit() {
 	if s.inflight {
 		<-s.restabDone
@@ -733,18 +843,35 @@ func (s *Store) drainAndExit() {
 		<-sh.done
 	}
 	s.finishDurable()
+	failControl := func(e logEntry) {
+		switch {
+		case e.quiesce != nil:
+			e.quiesce <- ErrClosed
+		case e.attach != nil:
+			e.attach.reply <- ErrClosed
+		case e.reconcile != nil:
+			e.reconcile <- ErrClosed
+		}
+	}
 	for {
 		select {
 		case e := <-s.log:
-			switch {
-			case e.quiesce != nil:
-				e.quiesce <- ErrClosed
-			case e.attach != nil:
-				e.attach.reply <- ErrClosed
-			case e.reconcile != nil:
-				e.reconcile <- ErrClosed
+			failControl(e)
+			if e.mut != nil && e.ten != nil {
+				e.ten.backlog.Add(-1)
 			}
 		default:
+			for _, t := range s.ring {
+				for t.qlen() > 0 {
+					t.pop()
+					t.backlog.Add(-1)
+					s.queued--
+				}
+			}
+			for _, e := range s.controlQ {
+				failControl(e)
+			}
+			s.controlQ = nil
 			for _, q := range s.quiescers {
 				q <- ErrClosed
 			}
@@ -797,10 +924,16 @@ func (s *Store) handleGroup(entries []logEntry) {
 				continue // rejected in journalGroup
 			}
 			if s.stageFastPath(e.mut, &run) {
+				// Staged (or resolved inline) batches cannot fail; count the
+				// tenant's commit now rather than threading tenants through
+				// the shard broadcast.
+				if e.ten != nil {
+					e.ten.committed.Add(1)
+				}
 				continue
 			}
 			flush()
-			s.applyGlobalBatch(e.mut)
+			s.applyGlobalBatch(e.mut, e.ten)
 		}
 	}
 	flush()
@@ -870,7 +1003,7 @@ func (s *Store) broadcast(run []*graph.Mutation) {
 // batch's O(batch) exact deltas, never an O(E) recompute — except the
 // ErrCutAmbiguous corner (duplicate-pair removals with differing weights),
 // which falls back to reconciliation.
-func (s *Store) applyGlobalBatch(m *graph.Mutation) {
+func (s *Store) applyGlobalBatch(m *graph.Mutation, ten *tenantState) {
 	s.withBarrier(func() {
 		oldN := s.w.NumVertices()
 		edits, editErr := m.CutEdits(s.w)
@@ -879,6 +1012,9 @@ func (s *Store) applyGlobalBatch(m *graph.Mutation) {
 			s.ctr.BatchesRejected.Add(1)
 			s.lastErr.Store(&err)
 			s.applied.Add(1) // resolved, though rejected
+			if ten != nil {
+				ten.rejected.Add(1)
+			}
 			return
 		}
 		grew := firstNew >= 0
@@ -913,6 +1049,9 @@ func (s *Store) applyGlobalBatch(m *graph.Mutation) {
 		s.ctr.EdgesRemoved.Add(int64(len(m.RemovedEdges)))
 		s.ctr.BatchesApplied.Add(1)
 		s.applied.Add(1)
+		if ten != nil {
+			ten.committed.Add(1)
+		}
 
 		if editErr != nil {
 			// Valid batch whose removal weights were unpredictable:
@@ -1011,14 +1150,24 @@ func (s *Store) shouldRestabilize() bool {
 }
 
 // maybeRestabilize starts a background incremental run when the trigger
-// fires and none is in flight. The clone is taken under a barrier so the
-// run sees a consistent merged graph; the shards then keep ingesting and
-// serving while the run adapts the clone, streaming per-iteration labels
-// back through the mid-run mailbox.
+// fires and none is in flight. Under overload the run is deferred — the
+// degradation budget trades cut quality for lookup latency — and starts
+// at the first turn after the load clears. The clone is taken under a
+// barrier so the run sees a consistent merged graph; the shards then
+// keep ingesting and serving while the run adapts the clone, streaming
+// per-iteration labels back through the mid-run mailbox.
 func (s *Store) maybeRestabilize() {
 	if s.inflight || !s.shouldRestabilize() {
 		return
 	}
+	if s.overloaded.Load() {
+		if !s.restabDeferred {
+			s.restabDeferred = true
+			s.ctr.DeferredRestabs.Add(1)
+		}
+		return
+	}
+	s.restabDeferred = false
 	var clone *graph.Weighted
 	var prev []int32
 	var affected []graph.VertexID
@@ -1132,7 +1281,9 @@ func (s *Store) merge(res restabResult) {
 }
 
 // maybeReconcile runs the periodic exact pass every ReconcileEvery
-// resolved batches.
+// resolved batches, deferring it while the store is overloaded (the
+// incremental counters are exact, so postponing the safety net costs
+// nothing but the rebalance point).
 func (s *Store) maybeReconcile() {
 	if s.cfg.ReconcileEvery <= 0 {
 		return
@@ -1140,6 +1291,14 @@ func (s *Store) maybeReconcile() {
 	if s.applied.Load()-s.lastReconcile < int64(s.cfg.ReconcileEvery) {
 		return
 	}
+	if s.overloaded.Load() {
+		if !s.reconcileDeferred {
+			s.reconcileDeferred = true
+			s.ctr.DeferredReconciles.Add(1)
+		}
+		return
+	}
+	s.reconcileDeferred = false
 	s.reconcile(true)
 }
 
@@ -1225,7 +1384,7 @@ func (s *Store) maybeReleaseQuiescers() {
 	if len(s.quiescers) == 0 {
 		return
 	}
-	if s.inflight || len(s.log) > 0 || len(s.midrun) > 0 {
+	if s.inflight || len(s.log) > 0 || s.queued > 0 || len(s.controlQ) > 0 || len(s.midrun) > 0 {
 		return
 	}
 	if s.d != nil && s.d.pending {

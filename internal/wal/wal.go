@@ -64,6 +64,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -171,9 +172,32 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // fsyncFile is the fsync used by the combined-sync path
 // (ensureDurableLocked); a package variable so tests can gate it to
-// deterministically observe leader/follower combining. Rotation and
-// Close sync directly — they are not part of the combining protocol.
+// deterministically observe leader/follower combining, and so
+// InjectFaults can make it fail. Rotation and Close sync directly — they
+// are not part of the combining protocol.
 var fsyncFile = (*os.File).Sync
+
+// writeFile is the segment write used by AppendGroup; a package variable
+// (the write-error twin of fsyncFile) so InjectFaults can fail or
+// short-count journal writes deterministically.
+var writeFile = (*os.File).Write
+
+// InjectFaults swaps the journal append-write and combined-fsync seams
+// for the given implementations and returns a func that restores the
+// real ones. A nil write or sync leaves that seam untouched. Test-only:
+// the seams are package-global, so callers must restore before any
+// journal they do not intend to fault appends, and must not inject from
+// concurrent tests.
+func InjectFaults(write func(*os.File, []byte) (int, error), sync func(*os.File) error) (restore func()) {
+	prevWrite, prevSync := writeFile, fsyncFile
+	if write != nil {
+		writeFile = write
+	}
+	if sync != nil {
+		fsyncFile = sync
+	}
+	return func() { writeFile, fsyncFile = prevWrite, prevSync }
+}
 
 // Journal is an append-only segmented log. Appends are safe for
 // concurrent use; concurrent callers under SyncAlways share fsyncs (see
@@ -330,7 +354,13 @@ func (j *Journal) AppendGroup(entries []GroupEntry) (firstSeq uint64, n int, err
 		}
 		break // fresh segment; the staged frames are still valid
 	}
-	if _, err := j.f.Write(buf); err != nil {
+	if n, err := writeFile(j.f, buf); err != nil || n != len(buf) {
+		// A failed or short write leaves the segment tail in an unknown
+		// state; poison the journal so no later append can frame records
+		// after bytes that may be torn.
+		if err == nil {
+			err = io.ErrShortWrite
+		}
 		j.err = err
 		return 0, 0, err
 	}
@@ -484,6 +514,17 @@ func (j *Journal) Close() error {
 		j.err = fmt.Errorf("wal: journal closed")
 	}
 	return err
+}
+
+// Err returns the journal's sticky I/O error: non-nil once an append
+// write or fsync has failed (every later append fails with it) or after
+// Close. A storage-layer caller uses it to tell a poisoned journal —
+// fail stop, recover via Replay — from a per-call rejection such as an
+// oversized record, which does not poison.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
 }
 
 // NextSeq returns the sequence number the next append will carry.
