@@ -22,6 +22,10 @@
 #                      tenant mutation latency with and without a flooding
 #                      tenant beside it — the weighted-fair admission
 #                      plane), into BENCH_pr6.json
+#   make bench-replica— same gate but BenchmarkFollowerLookupStaleness
+#                      (read-replica lookup latency while the journal
+#                      stream replicates leader churn underneath, plus the
+#                      worst observed staleness), into BENCH_pr7.json
 #   make bench-quick — CI benchmark smoke: every recorded benchmark runs
 #                      once (-benchtime=1x -count=1, no JSON write), so
 #                      compile/run breakage is caught without timing runs
@@ -33,6 +37,11 @@
 #                      other tenants' writes land, then kill -9 under load
 #                      and assert recovery (scripts/overload_smoke.sh;
 #                      also a CI job)
+#   make replication-smoke — leader + follower under churn: bounded
+#                      staleness, follower lookups from its own snapshots,
+#                      kill -9 the leader, /promote the follower, assert no
+#                      acknowledged batch lost and lookups unchanged
+#                      (scripts/replication_smoke.sh; also a CI job)
 #
 # The serving layer (internal/serve) is a sharded store: N shards each own
 # a contiguous vertex range with incremental O(batch) cut tracking, exact-
@@ -43,12 +52,15 @@
 # shard broadcasts, and checkpoints in the background (the barrier only
 # clones state; encode/write/install run off the hot path). serve.Open
 # recovers after a crash, falling back past a checkpoint lost mid-write.
+# Replication (internal/replica) streams the leader's journal to warm-
+# standby followers that replay it through the same apply path and serve
+# staleness-bounded reads; /promote fences the old leader by epoch.
 # CI (.github/workflows/ci.yml) runs lint + check + bench-quick + the
-# recovery and overload smokes on the Go version pinned in go.mod, and
-# uploads BENCH_pr4.json, BENCH_pr5.json, and BENCH_pr6.json as workflow
+# recovery, overload, and replication smokes on the Go version pinned in
+# go.mod, and uploads BENCH_pr4.json through BENCH_pr7.json as workflow
 # artifacts.
 
-.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-quick recovery-smoke overload-smoke
+.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-replica bench-quick recovery-smoke overload-smoke replication-smoke
 
 all: check
 
@@ -72,7 +84,7 @@ test:
 	go test ./...
 
 test-race:
-	go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/
+	go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/ ./internal/replica/
 
 bench:
 	./scripts/bench.sh -l current -o BENCH_pr1.json
@@ -89,12 +101,19 @@ bench-durable:
 bench-fairness:
 	./scripts/bench.sh -l current -b BenchmarkServeFairness -p ./internal/serve -o BENCH_pr6.json
 
+bench-replica:
+	./scripts/bench.sh -l current -b BenchmarkFollowerLookupStaleness -p ./internal/replica -o BENCH_pr7.json
+
 bench-quick:
 	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .
 	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable|Fairness)' -p ./internal/serve
+	./scripts/bench.sh -q -b BenchmarkFollowerLookupStaleness -p ./internal/replica
 
 recovery-smoke:
 	./scripts/recovery_smoke.sh
 
 overload-smoke:
 	./scripts/overload_smoke.sh
+
+replication-smoke:
+	./scripts/replication_smoke.sh

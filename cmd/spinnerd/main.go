@@ -75,6 +75,38 @@
 // lookups keep serving the last applied state. Restart to recover: the
 // journal tail holds exactly the acknowledged suffix.
 //
+// # Replication
+//
+// A durable daemon is also a replication leader: followers bootstrap
+// from GET /replicate/checkpoint (the latest checkpoint payload, with
+// X-Replica-Epoch and X-Checkpoint-Seq headers) and then tail
+// GET /replicate?after_seq=N&epoch=E — a chunked stream of the journal's
+// own CRC-framed records wrapped in epoch-stamped stream frames
+// (internal/replica). While a follower is connected the leader pins
+// journal retention at the lowest sequence any follower still needs, so
+// checkpoint truncation never races the stream; 409 means the epoch is
+// stale (fenced), 410 means the journal no longer holds after_seq+1 and
+// the follower must re-bootstrap.
+//
+// With -follow <leader-addr> (requires -data-dir) the daemon runs as a
+// warm-standby follower: it installs the leader's checkpoint into its
+// own data dir on first contact (later starts resume from its own
+// state), replays the streamed tail through the same journal-then-apply
+// path recovery uses — so follower state is bit-identical to the
+// leader's quiesced history — and serves /lookup from its own
+// atomically-swapped snapshots. External writes refuse with 503
+// {"code":"read_only"}. /stats exposes the watermark: "applied_seq",
+// "leader_seq" and "staleness_ms" (time since the follower last
+// observed itself caught up); with -max-staleness D, /lookup answers
+// 503 {"code":"stale_replica"} + Retry-After once staleness exceeds D.
+//
+// POST /promote fails the follower over: it fences the deposed leader
+// (epoch+1 on every future frame check, persisted before writes open),
+// seals the applied journal position, flips the store read-write, and
+// starts serving /replicate itself so further replicas can chain from
+// the new leader. No acknowledged batch is lost: the follower's journal
+// holds exactly the leader records it applied.
+//
 // # HTTP API
 //
 // Success responses are JSON; error responses are JSON too, shaped
@@ -87,6 +119,8 @@
 //
 //	GET  /lookup?v=ID      → 200 {"vertex":ID,"partition":P,"version":V,"k":K}
 //	                         400 {"error":"bad vertex id"} | 404 {"error":"vertex not found"}
+//	                         503 {"error":...,"code":"stale_replica"} + Retry-After on a
+//	                         follower lagging past -max-staleness
 //	POST /mutate           → 202 {"queued":true,"adds":A,"removes":R,"vertices":N}
 //	                         400 {"error":"line L: ..."}
 //	                         429 {"error":...,"code":"quota_exceeded"|"log_full"} + Retry-After
@@ -111,6 +145,20 @@
 //	                         backlog)
 //	GET  /healthz          → 200 once serving | 503 {"status":"degraded"} after a
 //	                         storage fault
+//	GET  /replicate?after_seq=N[&epoch=E]
+//	                       → 200 chunked stream: handshake frame, then records/
+//	                         heartbeat frames (raw journal frames inside, all
+//	                         epoch-stamped and CRC-framed)
+//	                         409 {"error":...} epoch mismatch (fenced) |
+//	                         410 {"error":...} journal truncated below after_seq+1
+//	                         (re-bootstrap) | 503 on a non-durable or still-
+//	                         following node
+//	GET  /replicate/checkpoint
+//	                       → 200 latest checkpoint payload (binary), headers
+//	                         X-Replica-Epoch, X-Checkpoint-Seq | 503 when none
+//	POST /promote          → 200 {"promoted":true,"epoch":E,"sealed_seq":S}
+//	                         (idempotent) | 409 {"code":"not_follower"} on a node
+//	                         not running with -follow
 //
 // With -demo D the daemon skips the listener, drives synthetic churn
 // against the store for duration D while hammering lookups, prints the
@@ -139,6 +187,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/wal"
@@ -173,6 +222,9 @@ type daemonConfig struct {
 	degradeLookups   float64
 	degradeStaleness float64
 	degradeWindow    time.Duration
+
+	follow       string
+	maxStaleness time.Duration
 }
 
 func main() {
@@ -202,6 +254,8 @@ func main() {
 	flag.Float64Var(&dc.degradeLookups, "degrade-lookups", 0, "lookups/sec above which maintenance defers and /resize sheds (0 disables)")
 	flag.Float64Var(&dc.degradeStaleness, "degrade-staleness", 0, "mean lookup staleness (batches) above which overload engages (0 disables)")
 	flag.DurationVar(&dc.degradeWindow, "degrade-window", 100*time.Millisecond, "EWMA window for the overload detector")
+	flag.StringVar(&dc.follow, "follow", "", "run as a read replica of this leader address (requires -data-dir)")
+	flag.DurationVar(&dc.maxStaleness, "max-staleness", 0, "follower lookups answer 503 stale_replica past this lag (0 = serve regardless)")
 	flag.Parse()
 	if err := run(dc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spinnerd:", err)
@@ -244,7 +298,41 @@ func run(dc daemonConfig, out io.Writer) error {
 	}
 
 	var st *serve.Store
+	var rep *replicaState
 	switch {
+	case dc.follow != "":
+		if dc.dataDir == "" {
+			return errors.New("-follow requires -data-dir (the follower journals and checkpoints locally)")
+		}
+		if dc.demo > 0 {
+			return errors.New("-follow and -demo are mutually exclusive")
+		}
+		pol, err := wal.ParsePolicy(dc.fsync)
+		if err != nil {
+			return err
+		}
+		cfg.Durability = serve.DurabilityConfig{
+			Fsync:           pol,
+			FsyncInterval:   dc.fsyncInterval,
+			CheckpointEvery: dc.checkpointEvery,
+			KeepCheckpoints: dc.keepCheckpoints,
+		}
+		cfg.Shards = dc.shards // 0 inherits the leader's checkpointed layout
+		fmt.Fprintf(out, "spinnerd: following %s from %s (fsync=%s)...\n", dc.follow, dc.dataDir, pol)
+		fl, err := replica.StartFollower(replica.FollowerConfig{
+			Leader: dc.follow, Dir: dc.dataDir, Store: cfg,
+		})
+		if err != nil {
+			return err
+		}
+		defer fl.Close()
+		st = fl.Store()
+		rep = &replicaState{
+			fl:           fl,
+			srv:          replica.NewServer(st, dc.dataDir, fl.Epoch),
+			maxStaleness: dc.maxStaleness,
+		}
+		fmt.Fprintf(out, "spinnerd: follower at epoch %d, applied seq %d\n", fl.Epoch(), fl.AppliedSeq())
 	case dc.dataDir != "":
 		pol, err := wal.ParsePolicy(dc.fsync)
 		if err != nil {
@@ -290,6 +378,16 @@ func run(dc daemonConfig, out io.Writer) error {
 		}
 	}
 	defer st.Close()
+	if rep == nil && dc.dataDir != "" {
+		// A durable non-follower node is a replication leader: pin its
+		// epoch (1 on first boot; a promoted-then-restarted node keeps its
+		// sealed epoch) and serve the journal stream.
+		ep, err := replica.LoadOrInitEpoch(dc.dataDir)
+		if err != nil {
+			return err
+		}
+		rep = &replicaState{srv: replica.NewServer(st, dc.dataDir, func() uint64 { return ep.Epoch })}
+	}
 	snap := st.Snapshot()
 	fmt.Fprintf(out, "spinnerd: serving (cut ratio %.4f)\n", snap.CutRatio)
 
@@ -297,7 +395,7 @@ func run(dc daemonConfig, out io.Writer) error {
 		return runDemo(st, dc.demo, dc.seed, out)
 	}
 	fmt.Fprintf(out, "spinnerd: listening on %s\n", dc.addr)
-	srv := &http.Server{Addr: dc.addr, Handler: newMux(st)}
+	srv := &http.Server{Addr: dc.addr, Handler: newMux(st, rep)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -374,10 +472,33 @@ func describe(s *serve.Snapshot) string {
 		s.Version, len(s.Labels), s.K, s.CutRatio, s.Epoch)
 }
 
+// replicaState carries the node's replication role into the mux: srv is
+// non-nil on any durable node (it serves the journal stream), fl is
+// non-nil in follower mode. Both nil = an in-memory node with no
+// replication surface.
+type replicaState struct {
+	srv          *replica.Server
+	fl           *replica.Follower
+	maxStaleness time.Duration
+}
+
+// following reports whether the node is still a tailing follower (false
+// once promoted — and on leaders, which never had a tail).
+func (rs *replicaState) following() bool {
+	return rs != nil && rs.fl != nil && !rs.fl.Promoted()
+}
+
+func (rs *replicaState) role() string {
+	if rs.following() {
+		return "follower"
+	}
+	return "leader"
+}
+
 // newMux wires the store into an HTTP API. Success and error bodies are
 // both JSON (errors are {"error": msg}); see the package comment for the
-// exact shapes.
-func newMux(st *serve.Store) *http.ServeMux {
+// exact shapes. rep may be nil (in-memory node: no replication surface).
+func newMux(st *serve.Store, rep *replicaState) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if st.Degraded() {
@@ -395,6 +516,12 @@ func newMux(st *serve.Store) *http.ServeMux {
 		v, err := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad vertex id")
+			return
+		}
+		if rep.following() && rep.maxStaleness > 0 && rep.fl.Staleness() > rep.maxStaleness {
+			st.Counters().StaleLookups.Add(1)
+			writeErrorCode(w, http.StatusServiceUnavailable, "stale_replica",
+				fmt.Sprintf("replica %s behind the leader (bound %s)", rep.fl.Staleness().Round(time.Millisecond), rep.maxStaleness), time.Second)
 			return
 		}
 		part, ok := st.Lookup(graph.VertexID(v))
@@ -421,6 +548,8 @@ func newMux(st *serve.Store) *http.ServeMux {
 				writeErrorCode(w, http.StatusTooManyRequests, "log_full", err.Error(), st.RetryAfter())
 			case errors.Is(err, serve.ErrDegraded):
 				writeErrorCode(w, http.StatusServiceUnavailable, "degraded", err.Error(), 0)
+			case errors.Is(err, serve.ErrReadOnly):
+				writeErrorCode(w, http.StatusServiceUnavailable, "read_only", err.Error(), 0)
 			default:
 				writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
 			}
@@ -451,6 +580,8 @@ func newMux(st *serve.Store) *http.ServeMux {
 				writeErrorCode(w, http.StatusBadRequest, "k_unchanged", "k unchanged", 0)
 			case errors.Is(err, serve.ErrDegraded):
 				writeErrorCode(w, http.StatusServiceUnavailable, "degraded", err.Error(), 0)
+			case errors.Is(err, serve.ErrReadOnly):
+				writeErrorCode(w, http.StatusServiceUnavailable, "read_only", err.Error(), 0)
 			default:
 				writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
 			}
@@ -482,11 +613,63 @@ func newMux(st *serve.Store) *http.ServeMux {
 			"drain_rate":          st.DrainRate(),
 			"lookup_rate":         st.LookupRate(),
 			"tenants":             st.Tenants(),
+			"role":                rep.role(),
+			"applied_seq":         st.JournalSeq(),
+			"leader_seq":          st.JournalSeq(),
+		}
+		if rep.following() {
+			payload["applied_seq"] = rep.fl.AppliedSeq()
+			payload["leader_seq"] = rep.fl.LeaderSeq()
+			payload["staleness_ms"] = rep.fl.Staleness().Milliseconds()
+			if err := rep.fl.Err(); err != nil {
+				payload["replication_error"] = err.Error()
+			}
+		}
+		if rep != nil && rep.fl != nil {
+			payload["replica_epoch"] = rep.fl.Epoch()
 		}
 		if err := st.Err(); err != nil {
 			payload["last_error"] = err.Error()
 		}
 		writeJSON(w, http.StatusOK, payload)
+	})
+	replicating := func(w http.ResponseWriter) bool {
+		if rep == nil || rep.srv == nil {
+			writeErrorCode(w, http.StatusServiceUnavailable, "not_durable", "replication requires -data-dir", 0)
+			return false
+		}
+		if rep.following() {
+			// A tailing follower does not serve the stream: chaining
+			// replicas from a replica would hide leader truncation and
+			// staleness behind a second hop. Promote first.
+			writeErrorCode(w, http.StatusServiceUnavailable, "follower", "node is a follower; promote it to serve replication", 0)
+			return false
+		}
+		return true
+	}
+	mux.HandleFunc("GET /replicate", func(w http.ResponseWriter, r *http.Request) {
+		if !replicating(w) {
+			return
+		}
+		rep.srv.ServeStream(w, r)
+	})
+	mux.HandleFunc("GET /replicate/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if !replicating(w) {
+			return
+		}
+		rep.srv.ServeCheckpoint(w, r)
+	})
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		if rep == nil || rep.fl == nil {
+			writeErrorCode(w, http.StatusConflict, "not_follower", "node is not running with -follow", 0)
+			return
+		}
+		ep, err := rep.fl.Promote()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "epoch": ep.Epoch, "sealed_seq": ep.SealedSeq})
 	})
 	return mux
 }

@@ -34,7 +34,7 @@ func testStore(t *testing.T, k int) *serve.Store {
 
 func TestHTTPLookupAndStats(t *testing.T) {
 	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/lookup?v=5")
@@ -102,7 +102,7 @@ func TestHTTPLookupAndStats(t *testing.T) {
 
 func TestHTTPMutateAndResize(t *testing.T) {
 	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 
 	body := "# add two vertices and wire them in\nv 2\n+ 600 0\n+ 601 1 3\n- 0 1\n"
@@ -180,7 +180,7 @@ func TestParseMutation(t *testing.T) {
 // store untouched: same snapshot version, batch counts, and k.
 func TestHTTPErrorPathsLeaveStoreUntouched(t *testing.T) {
 	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 	if err := st.Quiesce(); err != nil {
 		t.Fatal(err)
@@ -264,7 +264,7 @@ func TestDemoMode(t *testing.T) {
 // {"error": msg}, not a plain-text body.
 func TestHTTPErrorBodiesAreJSON(t *testing.T) {
 	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 	cases := []struct {
 		method, path, body string
@@ -345,7 +345,7 @@ func TestHTTPQuotaRejection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 
 	mutate := func(tenant string) *http.Response {
@@ -437,7 +437,7 @@ func TestHTTPResizeShedUnderOverload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 
 	// Hammer lookups until the EWMA detector trips (well above 1/sec).
@@ -502,7 +502,7 @@ func TestHTTPDegradedAfterStorageFault(t *testing.T) {
 	if err := st.Quiesce(); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 
 	restore := wal.InjectFaults(func(*os.File, []byte) (int, error) {
@@ -601,7 +601,7 @@ func TestParseWeights(t *testing.T) {
 // The /stats payload must expose the durability counters and flag.
 func TestHTTPStatsDurabilityFields(t *testing.T) {
 	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/stats")
 	if err != nil {

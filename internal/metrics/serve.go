@@ -127,6 +127,26 @@ type ServeCounters struct {
 	// FairnessPasses counts deficit-round-robin passes over the tenant
 	// ring when the coordinator forms a commit group from the backlog.
 	FairnessPasses atomic.Int64
+
+	// Replication path (internal/replica; zero unless replicating).
+
+	// ReplicaFramesSent and ReplicaBytesSent total the stream frames a
+	// leader pushed to followers (handshakes, records and heartbeats) and
+	// their encoded size.
+	ReplicaFramesSent atomic.Int64
+	ReplicaBytesSent  atomic.Int64
+	// ReplicaRecordsApplied counts leader journal records a follower
+	// applied through the replicated apply path.
+	ReplicaRecordsApplied atomic.Int64
+	// ReplicaFencedFrames counts stream frames rejected by the epoch
+	// check — traffic from a deposed leader after promotion.
+	ReplicaFencedFrames atomic.Int64
+	// ReplicaReconnects counts follower stream re-establishments after a
+	// dropped or torn connection (the initial connect is not counted).
+	ReplicaReconnects atomic.Int64
+	// StaleLookups counts follower /lookup requests refused with 503
+	// stale_replica because staleness exceeded the -max-staleness bound.
+	StaleLookups atomic.Int64
 }
 
 // ServeSnapshot is a plain-value copy of ServeCounters.
@@ -149,6 +169,10 @@ type ServeSnapshot struct {
 	QuotaRejections, ShedRequests           int64
 	DeferredRestabs, DeferredReconciles     int64
 	FairnessPasses                          int64
+	ReplicaFramesSent, ReplicaBytesSent     int64
+	ReplicaRecordsApplied                   int64
+	ReplicaFencedFrames, ReplicaReconnects  int64
+	StaleLookups                            int64
 }
 
 // Snapshot copies every counter.
@@ -192,6 +216,13 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		DeferredRestabs:    c.DeferredRestabs.Load(),
 		DeferredReconciles: c.DeferredReconciles.Load(),
 		FairnessPasses:     c.FairnessPasses.Load(),
+
+		ReplicaFramesSent:     c.ReplicaFramesSent.Load(),
+		ReplicaBytesSent:      c.ReplicaBytesSent.Load(),
+		ReplicaRecordsApplied: c.ReplicaRecordsApplied.Load(),
+		ReplicaFencedFrames:   c.ReplicaFencedFrames.Load(),
+		ReplicaReconnects:     c.ReplicaReconnects.Load(),
+		StaleLookups:          c.StaleLookups.Load(),
 	}
 }
 
@@ -217,7 +248,7 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, pending %d) replayed=%d quota-rej=%d shed=%d deferred=%d/%d fair=%d",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, pending %d) replayed=%d quota-rej=%d shed=%d deferred=%d/%d fair=%d replica=%d/%dB (applied %d, fenced %d, reconnects %d, stale-503 %d)",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
 		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
@@ -228,5 +259,7 @@ func (s ServeSnapshot) String() string {
 		s.GroupCommits, s.GroupCommitDepth(), s.CoalescedBatches, s.ApplyCoalesces,
 		s.Checkpoints, s.CheckpointBytes, s.CheckpointsPending, s.ReplayedRecords,
 		s.QuotaRejections, s.ShedRequests, s.DeferredRestabs, s.DeferredReconciles,
-		s.FairnessPasses)
+		s.FairnessPasses,
+		s.ReplicaFramesSent, s.ReplicaBytesSent, s.ReplicaRecordsApplied,
+		s.ReplicaFencedFrames, s.ReplicaReconnects, s.StaleLookups)
 }

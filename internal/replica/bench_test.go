@@ -1,0 +1,103 @@
+package replica
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// BenchmarkFollowerLookupStaleness measures follower-side Lookup latency
+// while the leader churns and the stream replicates underneath — the
+// read-replica serving path. ns/op should sit at the leader's ~50ns
+// Lookup cost (same lock-free route-table read); the staleness-ms metric
+// reports the worst replication lag observed during the run.
+func BenchmarkFollowerLookupStaleness(b *testing.B) {
+	const n = 4000
+	opts := core.DefaultOptions(4)
+	opts.Seed = 7
+	opts.NumWorkers = 2
+	opts.MaxIterations = 30
+	cfg := serve.Config{
+		Options: opts,
+		Shards:  2,
+		Durability: serve.DurabilityConfig{
+			Fsync:             wal.SyncNever,
+			CheckpointEvery:   -1,
+			NoFinalCheckpoint: true,
+		},
+	}
+	ldir := b.TempDir()
+	leader, err := serve.BootstrapDurable(ldir, gen.WattsStrogatz(n, 8, 0.2, 7), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer leader.Close()
+	hs, _ := leaderHTTP(b, leader, ldir)
+
+	fcfg := cfg
+	fcfg.Shards = 0
+	fl, err := StartFollower(FollowerConfig{
+		Leader: hs.URL, Dir: b.TempDir(), Store: fcfg, Reconnect: 10 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fl.Close()
+
+	// Leader churn for the duration of the run; sample the follower's
+	// observed staleness as it tails.
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	var maxStale atomic.Int64
+	go func() {
+		defer close(churnDone)
+		src := rng.New(99)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mut := &graph.Mutation{}
+			for i := 0; i < 50; i++ {
+				u := graph.VertexID(src.Intn(n))
+				v := graph.VertexID(src.Intn(n))
+				if u != v {
+					mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{U: u, V: v, Weight: 1})
+				}
+			}
+			if err := leader.Submit(mut); err != nil {
+				return
+			}
+			if s := int64(fl.Staleness()); s > maxStale.Load() {
+				maxStale.Store(s)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	st := fl.Store()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		src := rng.New(4242)
+		for pb.Next() {
+			if _, ok := st.Lookup(graph.VertexID(src.Intn(n))); !ok {
+				b.Fatal("lookup miss on follower")
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-churnDone
+	if err := fl.Err(); err != nil {
+		b.Fatalf("follower died during bench: %v", err)
+	}
+	b.ReportMetric(float64(maxStale.Load())/1e6, "max-staleness-ms")
+}

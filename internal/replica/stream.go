@@ -1,0 +1,115 @@
+// Package replica is the replicated serving plane: a leader streams its
+// group-framed WAL journal over HTTP to followers that bootstrap from the
+// leader's latest checkpoint and then replay the tail forever — recovery
+// that never stops. A follower is a durable serve.Store over its own data
+// directory, flipped read-only; it serves ~50ns lookups from its own
+// atomically-swapped snapshots with a bounded staleness watermark, and
+// promotion (with epoch fencing against the deposed leader) flips it to a
+// full read-write coordinator.
+//
+// The wire protocol carries the journal's on-disk frames verbatim inside
+// stream frames of its own:
+//
+//	u8 kind | u32 payload len | u32 CRC-32C(payload) | payload
+//	payload = u64 epoch | u64 leaderSeq | [records: raw WAL frames]
+//
+// kinds: handshake (1, opens every stream), records (2, one or more
+// journal frames in sequence order), heartbeat (3, keeps the staleness
+// watermark honest across idle periods). Every frame carries the leader's
+// epoch, so fencing is per-frame, not just per-connection: after a
+// follower promotes, any frame still in flight from the deposed leader
+// fails the epoch check and is dropped with the connection.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Stream frame kinds.
+const (
+	// FrameHandshake opens a stream: epoch + the leader's current journal
+	// sequence, sent before any records.
+	FrameHandshake byte = 1
+	// FrameRecords carries raw journal frames (wal.ReadFramesAfter
+	// format) in sequence order.
+	FrameRecords byte = 2
+	// FrameHeartbeat refreshes leaderSeq during idle periods.
+	FrameHeartbeat byte = 3
+)
+
+const (
+	frameHeader  = 9  // u8 kind + u32 len + u32 crc
+	frameFixed   = 16 // u64 epoch + u64 leaderSeq
+	maxFrameSize = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrShortFrame reports that a buffer holds only a prefix of a frame:
+// read more bytes and retry. Every other decode error is corruption (or a
+// version skew) and must drop the connection.
+var ErrShortFrame = errors.New("replica: short frame")
+
+// Frame is one decoded replication stream frame.
+type Frame struct {
+	Kind      byte
+	Epoch     uint64
+	LeaderSeq uint64 // leader's last journaled sequence at send time
+	Records   []byte // FrameRecords only: concatenated raw journal frames
+}
+
+// AppendFrame encodes f onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	start := len(dst)
+	dst = append(dst, f.Kind, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, f.LeaderSeq)
+	dst = append(dst, f.Records...)
+	payload := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[start+1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+5:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// DecodeFrame parses one frame from the front of b, returning it and the
+// number of bytes consumed. ErrShortFrame means b ends mid-frame (a torn
+// read — wait for more bytes); any other error means the bytes can never
+// parse and the stream must be abandoned. Records aliases b.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < frameHeader {
+		return Frame{}, 0, ErrShortFrame
+	}
+	kind := b[0]
+	if kind < FrameHandshake || kind > FrameHeartbeat {
+		return Frame{}, 0, fmt.Errorf("replica: unknown frame kind %d", kind)
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:]))
+	if n < frameFixed || n > maxFrameSize {
+		return Frame{}, 0, fmt.Errorf("replica: frame payload of %d bytes", n)
+	}
+	if kind != FrameRecords && n != frameFixed {
+		return Frame{}, 0, fmt.Errorf("replica: %d-byte payload on control frame kind %d", n, kind)
+	}
+	if len(b) < frameHeader+n {
+		return Frame{}, 0, ErrShortFrame
+	}
+	payload := b[frameHeader : frameHeader+n]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[5:]) {
+		return Frame{}, 0, errors.New("replica: frame fails CRC")
+	}
+	f := Frame{
+		Kind:      kind,
+		Epoch:     binary.LittleEndian.Uint64(payload),
+		LeaderSeq: binary.LittleEndian.Uint64(payload[8:]),
+	}
+	if kind == FrameRecords {
+		f.Records = payload[frameFixed:]
+		if len(f.Records) == 0 {
+			return Frame{}, 0, errors.New("replica: empty records frame")
+		}
+	}
+	return f, frameHeader + n, nil
+}

@@ -186,6 +186,7 @@ func NewDurable(dir string, w *graph.Weighted, labels []int32, cfg Config) (*Sto
 	}
 	s.d.jrn = jrn
 	s.d.active = true
+	s.jrnLive.Store(jrn)
 	s.start()
 	return s, nil
 }
@@ -384,6 +385,7 @@ func (s *Store) journalGroup(entries []logEntry) bool {
 		return false
 	}
 	s.d.lastSeq = firstSeq + uint64(len(ge)) - 1
+	s.journalSeq.Store(s.d.lastSeq)
 	s.ctr.GroupCommits.Add(1)
 	s.ctr.GroupedEntries.Add(int64(len(ge)))
 	return true

@@ -70,6 +70,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/wal"
 )
 
 // Errors returned by the submission paths.
@@ -275,6 +276,15 @@ type Store struct {
 	overloaded atomic.Bool   // degradation budget engaged
 	drainRate  atomic.Uint64 // EWMA resolved batches/sec (float64 bits)
 	lookupRate atomic.Uint64 // EWMA lookups/sec (float64 bits)
+
+	// Replication state (see replication.go). readOnly marks a follower
+	// store: external writes refuse with ErrReadOnly while the replicated
+	// apply path keeps flowing. journalSeq mirrors durable.lastSeq for
+	// lock-free readers, and jrnLive exposes the attached journal to the
+	// retention plumbing without entering the coordinator.
+	readOnly   atomic.Bool
+	journalSeq atomic.Uint64
+	jrnLive    atomic.Pointer[wal.Journal]
 
 	// Coordinator state (no locks: single owner between barriers).
 	w               *graph.Weighted
@@ -545,6 +555,9 @@ func (s *Store) Submit(m *graph.Mutation) error {
 	if s.degraded.Load() {
 		return ErrDegraded
 	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	t := s.tenant(m.Tenant)
 	if err := s.admit(t, false); err != nil {
 		return err
@@ -569,6 +582,9 @@ func (s *Store) TrySubmit(m *graph.Mutation) error {
 	}
 	if s.degraded.Load() {
 		return ErrDegraded
+	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
 	}
 	t := s.tenant(m.Tenant)
 	if err := s.admit(t, true); err != nil {
@@ -631,6 +647,9 @@ func (s *Store) Resize(newK int) error {
 	}
 	if s.degraded.Load() {
 		return ErrDegraded
+	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
 	}
 	s.kMu.Lock()
 	if newK == s.targetK {
@@ -908,6 +927,8 @@ func (s *Store) handleGroup(entries []logEntry) {
 			s.d.lastSeq = e.attach.lastSeq
 			s.d.ckptApplied = s.applied.Load()
 			s.d.active = true
+			s.jrnLive.Store(e.attach.jrn)
+			s.journalSeq.Store(e.attach.lastSeq)
 			e.attach.reply <- nil
 		case e.reconcile != nil:
 			flush()

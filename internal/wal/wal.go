@@ -221,6 +221,7 @@ type Journal struct {
 	appends atomic.Int64
 	bytes   atomic.Int64
 	syncs   atomic.Int64
+	retain  atomic.Uint64 // lowest seq a connected follower still needs; 0 = none
 
 	stop chan struct{} // closes the background syncer
 	done chan struct{}
@@ -539,11 +540,25 @@ func (j *Journal) Appends() int64       { return j.appends.Load() }
 func (j *Journal) AppendedBytes() int64 { return j.bytes.Load() }
 func (j *Journal) Syncs() int64         { return j.syncs.Load() }
 
+// SetRetention establishes a truncation floor: records with sequence
+// numbers >= floor stay on disk regardless of what TruncateBelow is asked
+// to reclaim. Replication uses it to pin the journal tail a connected
+// follower has not consumed yet — without the floor, a checkpoint landing
+// between a follower's reads would reclaim segments the follower still
+// needs and force a full re-bootstrap. floor 0 clears the pin. Safe for
+// concurrent use with appends and truncation.
+func (j *Journal) SetRetention(floor uint64) { j.retain.Store(floor) }
+
 // TruncateBelow deletes every sealed segment whose records all have
 // sequence numbers <= seq — the space-reclamation step after a checkpoint
-// at seq. The active segment is never deleted. Returns the number of
-// segments removed.
+// at seq. The bound is clamped below any retention floor set by
+// SetRetention, so segments a connected follower still needs survive the
+// checkpoint that would otherwise cover them. The active segment is never
+// deleted. Returns the number of segments removed.
 func (j *Journal) TruncateBelow(seq uint64) (int, error) {
+	if floor := j.retain.Load(); floor > 0 && floor <= seq {
+		seq = floor - 1
+	}
 	j.mu.Lock()
 	active := j.nextSeq // segments starting at or after this are unsealed
 	j.mu.Unlock()

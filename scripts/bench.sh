@@ -53,8 +53,8 @@ verify() {
   echo "== tier-1: go build ./... && go test ./..."
   go build ./... || return 1
   go test ./... || return 1
-  echo "== race: go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/"
-  go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/ || return 1
+  echo "== race: go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/ ./internal/replica/"
+  go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/ ./internal/replica/ || return 1
 }
 if ! verify; then
   echo "bench.sh: verify step failed; not recording benchmarks" >&2
