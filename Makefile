@@ -26,6 +26,11 @@
 #                      (read-replica lookup latency while the journal
 #                      stream replicates leader churn underneath, plus the
 #                      worst observed staleness), into BENCH_pr7.json
+#   make bench-delta — same gate but BenchmarkCheckpointDelta (checkpoint
+#                      bytes per interval on a low-churn history after a
+#                      large base: incremental chain vs full re-encode —
+#                      bytes_per_op in the JSON is the installed payload
+#                      size), into BENCH_pr8.json
 #   make bench-quick — CI benchmark smoke: every recorded benchmark runs
 #                      once (-benchtime=1x -count=1, no JSON write), so
 #                      compile/run breakage is caught without timing runs
@@ -42,6 +47,12 @@
 #                      kill -9 the leader, /promote the follower, assert no
 #                      acknowledged batch lost and lookups unchanged
 #                      (scripts/replication_smoke.sh; also a CI job)
+#   make changefeed-smoke — live /v1/watch consumer under churn: delta
+#                      frames stream, spinnerctl feed-labels (410-resync
+#                      path included) converges to lookup truth, .dckp
+#                      chain links land on disk, kill -9 mid-chain and
+#                      recovery from base + delta chain
+#                      (scripts/changefeed_smoke.sh; also a CI job)
 #
 # The serving layer (internal/serve) is a sharded store: N shards each own
 # a contiguous vertex range with incremental O(batch) cut tracking, exact-
@@ -55,12 +66,15 @@
 # Replication (internal/replica) streams the leader's journal to warm-
 # standby followers that replay it through the same apply path and serve
 # staleness-bounded reads; /promote fences the old leader by epoch.
+# The serving HTTP surface lives in internal/api (versioned /v1 routes +
+# legacy aliases, typed Go client under internal/api/client, /v1/watch
+# change feed); cmd/spinnerctl is the CLI companion built on the client.
 # CI (.github/workflows/ci.yml) runs lint + check + bench-quick + the
-# recovery, overload, and replication smokes on the Go version pinned in
-# go.mod, and uploads BENCH_pr4.json through BENCH_pr7.json as workflow
-# artifacts.
+# recovery, overload, replication, and changefeed smokes on the Go
+# version pinned in go.mod, and uploads BENCH_pr4.json through
+# BENCH_pr8.json as workflow artifacts.
 
-.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-replica bench-quick recovery-smoke overload-smoke replication-smoke
+.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-replica bench-delta bench-quick recovery-smoke overload-smoke replication-smoke changefeed-smoke
 
 all: check
 
@@ -104,9 +118,13 @@ bench-fairness:
 bench-replica:
 	./scripts/bench.sh -l current -b BenchmarkFollowerLookupStaleness -p ./internal/replica -o BENCH_pr7.json
 
+bench-delta:
+	./scripts/bench.sh -l current -b BenchmarkCheckpointDelta -p ./internal/serve -o BENCH_pr8.json
+
 bench-quick:
 	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .
 	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable|Fairness)' -p ./internal/serve
+	./scripts/bench.sh -q -b BenchmarkCheckpointDelta -p ./internal/serve
 	./scripts/bench.sh -q -b BenchmarkFollowerLookupStaleness -p ./internal/replica
 
 recovery-smoke:
@@ -117,3 +135,6 @@ overload-smoke:
 
 replication-smoke:
 	./scripts/replication_smoke.sh
+
+changefeed-smoke:
+	./scripts/changefeed_smoke.sh

@@ -13,7 +13,7 @@
 //
 // The store is sharded (-shards, default GOMAXPROCS capped at 8): each
 // shard owns a contiguous vertex range and applies mutation sub-batches in
-// parallel with incremental cut tracking; /stats reports the composed
+// parallel with incremental cut tracking; /v1/stats reports the composed
 // integer cut counters (cut_weight, total_weight, cut_by_partition) and
 // the shard count.
 //
@@ -35,21 +35,31 @@
 // checkpoint, so recovery survives the loss (or crash-interrupted write)
 // of the newest one by falling back and replaying a longer tail.
 //
+// Checkpoints are incremental by default: when the label map has barely
+// moved since the last checkpoint, the store writes a small delta
+// checkpoint (changed label runs + counters, chained onto the previous
+// encoding) instead of re-encoding the whole graph; after
+// -max-delta-chain links — or whenever a delta stops being materially
+// smaller than a full re-encode — it rebases onto a fresh full
+// checkpoint and prunes the superseded chain. Recovery composes base +
+// chain + journal tail into state bit-identical to full-checkpoint
+// recovery. -max-delta-chain < 0 disables incremental checkpoints.
+//
 // The durable write path is a staged commit pipeline (see internal/serve
 // and internal/wal): each coordinator turn journals everything pending
 // as one group (one write + one fsync — under -fsync always, concurrent
 // submitters amortize the disk barrier), coalesces consecutive add-only
 // batches into single shard broadcasts, and runs checkpoints in the
 // background (the write plane only pauses to clone the state, never for
-// the encode + write + fsync). /stats reports the pipeline's shape:
+// the encode + write + fsync). /v1/stats reports the pipeline's shape:
 // GroupCommits/GroupedEntries (and the derived journal_group_depth —
 // mean entries per fsync), ApplyCoalesces/CoalescedBatches, and
 // CheckpointsPending (1 while a background checkpoint is in flight).
 //
 // # Overload robustness
 //
-// The write plane is multi-tenant: /mutate batches are attributed to the
-// tenant named by the X-Tenant request header (empty = the default
+// The write plane is multi-tenant: /v1/mutate batches are attributed to
+// the tenant named by the X-Tenant request header (empty = the default
 // tenant). With -quota-rate R each tenant gets a token bucket (R
 // batches/sec, burst -quota-burst) and -quota-depth caps each tenant's
 // queued backlog, so one abusive client exhausts its own quota instead
@@ -65,87 +75,122 @@
 // read-path load over an EWMA (-degrade-window) and, while overloaded,
 // spends its degradation budget deliberately: background
 // restabilization and exact cut-reconcile passes are deferred, and
-// /resize — the most expensive write — is shed with 503 + Retry-After.
+// /v1/resize — the most expensive write — is shed with 503 + Retry-After.
 // Lookups and mutations keep flowing.
 //
 // Storage faults fail stop: if a journal write or fsync fails, the
 // affected group is never acknowledged, the journal is poisoned, and
-// the store degrades to read-only — /mutate and /resize return 503
-// {"code":"degraded"}, /healthz reports {"status":"degraded"}, and
+// the store degrades to read-only — /v1/mutate and /v1/resize return 503
+// {"code":"degraded"}, /v1/healthz reports {"status":"degraded"}, and
 // lookups keep serving the last applied state. Restart to recover: the
 // journal tail holds exactly the acknowledged suffix.
 //
 // # Replication
 //
 // A durable daemon is also a replication leader: followers bootstrap
-// from GET /replicate/checkpoint (the latest checkpoint payload, with
+// from GET /v1/replicate/checkpoint (the latest checkpoint payload, with
 // X-Replica-Epoch and X-Checkpoint-Seq headers) and then tail
-// GET /replicate?after_seq=N&epoch=E — a chunked stream of the journal's
-// own CRC-framed records wrapped in epoch-stamped stream frames
-// (internal/replica). While a follower is connected the leader pins
-// journal retention at the lowest sequence any follower still needs, so
-// checkpoint truncation never races the stream; 409 means the epoch is
-// stale (fenced), 410 means the journal no longer holds after_seq+1 and
-// the follower must re-bootstrap.
+// GET /v1/replicate?after_seq=N&epoch=E — a chunked stream of the
+// journal's own CRC-framed records wrapped in epoch-stamped stream
+// frames (internal/replica). While a follower is connected the leader
+// pins journal retention at the lowest sequence any follower still
+// needs, so checkpoint truncation never races the stream; 409 means the
+// epoch is stale (fenced), 410 means the journal no longer holds
+// after_seq+1 and the follower must re-bootstrap.
 //
 // With -follow <leader-addr> (requires -data-dir) the daemon runs as a
 // warm-standby follower: it installs the leader's checkpoint into its
 // own data dir on first contact (later starts resume from its own
 // state), replays the streamed tail through the same journal-then-apply
 // path recovery uses — so follower state is bit-identical to the
-// leader's quiesced history — and serves /lookup from its own
+// leader's quiesced history — and serves /v1/lookup from its own
 // atomically-swapped snapshots. External writes refuse with 503
-// {"code":"read_only"}. /stats exposes the watermark: "applied_seq",
+// {"code":"read_only"}. /v1/stats exposes the watermark: "applied_seq",
 // "leader_seq" and "staleness_ms" (time since the follower last
-// observed itself caught up); with -max-staleness D, /lookup answers
+// observed itself caught up); with -max-staleness D, /v1/lookup answers
 // 503 {"code":"stale_replica"} + Retry-After once staleness exceeds D.
 //
-// POST /promote fails the follower over: it fences the deposed leader
+// POST /v1/promote fails the follower over: it fences the deposed leader
 // (epoch+1 on every future frame check, persisted before writes open),
 // seals the applied journal position, flips the store read-write, and
-// starts serving /replicate itself so further replicas can chain from
+// starts serving /v1/replicate itself so further replicas can chain from
 // the new leader. No acknowledged batch is lost: the follower's journal
 // holds exactly the leader records it applied.
 //
-// # HTTP API
+// # Change feed
 //
-// Success responses are JSON; error responses are JSON too, shaped
-// {"error": "message"} with the status carrying the class (400 malformed,
-// 404 unknown vertex, 429 quota/backpressure, 503 overload/fault/
-// shutdown). 429 and 503 rejections add a stable "code" field
-// (quota_exceeded, log_full, overloaded, degraded, k_unchanged,
-// unavailable) and, where a backoff hint exists, a Retry-After header
-// (whole seconds).
+// Every label-changing event in the store also publishes a compact
+// delta record (changed vertex→label runs, partition-count and
+// shard-boundary changes, integer cut counters) into a bounded ring
+// (-delta-ring records; the oldest are compacted away). GET /v1/watch
+// streams those records so an external consumer — a cache, an index, a
+// router — can mirror the vertex→partition map without polling:
+// subscribe from sequence 0, apply each delta, and the map converges to
+// exactly what /v1/lookup serves. Delta sequences are per-process
+// (restart ⇒ resync), and a consumer that falls behind the ring gets an
+// honest 410 and re-bootstraps from the full map.
 //
-//	GET  /lookup?v=ID      → 200 {"vertex":ID,"partition":P,"version":V,"k":K}
+// # HTTP API (v1)
+//
+// Every endpoint lives under /v1/; the pre-versioning paths (/lookup,
+// /mutate, /resize, /stats, /healthz, /replicate, /replicate/checkpoint,
+// /promote) remain as aliases with identical shapes. Success responses
+// are JSON; error responses are JSON too, shaped {"error": msg} with the
+// status carrying the class (400 malformed, 404 unknown vertex, 409
+// conflict, 410 gone, 429 quota/backpressure, 503 overload/fault/
+// shutdown). Machine-actionable rejections add a stable "code" field
+// (quota_exceeded, log_full, overloaded, degraded, read_only,
+// stale_replica, k_unchanged, unavailable, not_durable, follower,
+// not_follower, compacted, reset) and, where a backoff hint exists, a
+// Retry-After header (whole seconds). Every response — success and
+// error alike — carries Content-Type: application/json, except the
+// binary /v1/watch and /v1/replicate streams.
+//
+//	GET  /v1/healthz       → 200 {"status":"ok"}
+//	                         503 {"status":"degraded","error":...} after a storage fault
+//	GET  /v1/lookup?v=ID   → 200 {"vertex":ID,"partition":P,"version":V,"k":K}
 //	                         400 {"error":"bad vertex id"} | 404 {"error":"vertex not found"}
 //	                         503 {"error":...,"code":"stale_replica"} + Retry-After on a
 //	                         follower lagging past -max-staleness
-//	POST /mutate           → 202 {"queued":true,"adds":A,"removes":R,"vertices":N}
+//	GET  /v1/lookup        → 200 {"k":K,"vertices":N,"labels":[...],"from_seq":S}
+//	                         (no v parameter: the full map + the watch cursor to resume
+//	                         the change feed from — the resync path after a 410; the
+//	                         legacy /lookup alias keeps answering 400 here)
+//	POST /v1/mutate        → 202 {"queued":true,"adds":A,"removes":R,"vertices":N}
 //	                         400 {"error":"line L: ..."}
 //	                         429 {"error":...,"code":"quota_exceeded"|"log_full"} + Retry-After
-//	                         503 {"error":...,"code":"degraded"|"unavailable"}
+//	                         503 {"error":...,"code":"degraded"|"read_only"|"unavailable"}
 //	                         headers: X-Tenant names the submitting tenant
 //	                         body: one op per line:
 //	                           + u v [w]   add undirected edge {u,v} (weight w, default 2)
 //	                           - u v       remove undirected edge {u,v}
 //	                           v n         append n vertices
-//	POST /resize?k=K       → 202 {"queued":true,"k":K}
+//	POST /v1/resize?k=K    → 202 {"queued":true,"k":K}
 //	                         400 {"error":"bad k"} | 400 {"error":"k unchanged","code":"k_unchanged"}
-//	                         503 {"error":...,"code":"overloaded"|"degraded"|"unavailable"}
-//	GET  /stats            → 200 snapshot + serving counters (JSON), including the
-//	                         durability counters (journal appends/bytes/fsyncs,
-//	                         checkpoints, replayed records), the commit-pipeline
-//	                         counters (GroupCommits/GroupedEntries, ApplyCoalesces/
-//	                         CoalescedBatches, CheckpointsPending), "durable",
-//	                         the derived "journal_group_depth", and the overload
-//	                         view: "degraded", "overloaded", "drain_rate",
-//	                         "lookup_rate" and the per-tenant "tenants" map
-//	                         (weight, submitted/committed/rejected/quota_rejected,
-//	                         backlog)
-//	GET  /healthz          → 200 once serving | 503 {"status":"degraded"} after a
-//	                         storage fault
-//	GET  /replicate?after_seq=N[&epoch=E]
+//	                         503 {"error":...,"code":"overloaded"|"degraded"|"read_only"|"unavailable"}
+//	GET  /v1/stats         → 200 snapshot + serving counters (one documented JSON
+//	                         struct — see api.StatsResponse): vertices, k, version,
+//	                         epoch, applied, cut, cut_weight, total_weight,
+//	                         cut_by_partition, shards, durable, journal_group_depth,
+//	                         counters, degraded, overloaded, drain_rate, lookup_rate,
+//	                         tenants, delta_floor, delta_next, role, applied_seq,
+//	                         leader_seq (+ follower-only staleness_ms,
+//	                         replication_error, replica_epoch; last_error after a fault)
+//	GET  /v1/watch?from_seq=N[&limit=M]
+//	                       → 200 chunked application/octet-stream of CRC frames
+//	                         (u8 kind | u32 len | u32 crc | payload): a handshake
+//	                         frame (floor+next), then one frame per delta record
+//	                         from sequence N+1 on, with heartbeat frames while
+//	                         idle. from_seq names the last delta the consumer has
+//	                         applied (0 = from the beginning; the first delta is
+//	                         the baseline full-label record). Long-polls forever
+//	                         unless limit > 0 caps the deltas delivered.
+//	                         Headers X-Delta-Floor/X-Delta-Next report retention.
+//	                         410 {"code":"compacted"} the cursor fell below the
+//	                         compaction floor | 410 {"code":"reset"} the cursor is
+//	                         from a previous server incarnation — both mean: full
+//	                         resync via GET /v1/lookup, re-watch from its from_seq
+//	GET  /v1/replicate?after_seq=N[&epoch=E]
 //	                       → 200 chunked stream: handshake frame, then records/
 //	                         heartbeat frames (raw journal frames inside, all
 //	                         epoch-stamped and CRC-framed)
@@ -153,12 +198,15 @@
 //	                         410 {"error":...} journal truncated below after_seq+1
 //	                         (re-bootstrap) | 503 on a non-durable or still-
 //	                         following node
-//	GET  /replicate/checkpoint
+//	GET  /v1/replicate/checkpoint
 //	                       → 200 latest checkpoint payload (binary), headers
 //	                         X-Replica-Epoch, X-Checkpoint-Seq | 503 when none
-//	POST /promote          → 200 {"promoted":true,"epoch":E,"sealed_seq":S}
+//	POST /v1/promote       → 200 {"promoted":true,"epoch":E,"sealed_seq":S}
 //	                         (idempotent) | 409 {"code":"not_follower"} on a node
 //	                         not running with -follow
+//
+// The typed Go client for this surface is internal/api/client; the
+// spinnerctl command wraps it for shell use.
 //
 // With -demo D the daemon skips the listener, drives synthetic churn
 // against the store for duration D while hammering lookups, prints the
@@ -167,9 +215,7 @@
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -184,6 +230,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -208,12 +255,14 @@ type daemonConfig struct {
 	degrade    float64
 	shards     int
 	demo       time.Duration
+	deltaRing  int
 
 	dataDir         string
 	fsync           string
 	fsyncInterval   time.Duration
 	checkpointEvery int
 	keepCheckpoints int
+	maxDeltaChain   int
 
 	quotaRate        float64
 	quotaBurst       float64
@@ -242,11 +291,13 @@ func main() {
 	flag.Float64Var(&dc.degrade, "degrade", 1.10, "cut-ratio degradation factor triggering restabilization")
 	flag.IntVar(&dc.shards, "shards", 0, "store shards for parallel mutation application (0 = GOMAXPROCS, capped at 8)")
 	flag.DurationVar(&dc.demo, "demo", 0, "run synthetic churn for this duration and exit (no listener)")
+	flag.IntVar(&dc.deltaRing, "delta-ring", 1024, "change-feed delta records retained for /v1/watch before compaction")
 	flag.StringVar(&dc.dataDir, "data-dir", "", "durable data directory (journal + checkpoints); empty = in-memory only")
 	flag.StringVar(&dc.fsync, "fsync", "interval", "journal fsync policy: never|interval|always")
 	flag.DurationVar(&dc.fsyncInterval, "fsync-interval", 50*time.Millisecond, "background fsync period under -fsync interval")
 	flag.IntVar(&dc.checkpointEvery, "checkpoint-every", 4096, "applied batches between checkpoints (negative disables periodic checkpoints)")
 	flag.IntVar(&dc.keepCheckpoints, "keep-checkpoints", 2, "newest checkpoints retained; the journal is truncated below the oldest kept")
+	flag.IntVar(&dc.maxDeltaChain, "max-delta-chain", 0, "incremental checkpoints chained before a forced full rebase (0 = default 8, negative disables)")
 	flag.Float64Var(&dc.quotaRate, "quota-rate", 0, "per-tenant mutation admission rate (batches/sec; 0 disables quotas)")
 	flag.Float64Var(&dc.quotaBurst, "quota-burst", 0, "per-tenant admission burst (0 = max(1, quota-rate))")
 	flag.IntVar(&dc.quotaDepth, "quota-depth", 0, "per-tenant backlog cap for non-blocking submits (0 = unlimited)")
@@ -277,8 +328,18 @@ func run(dc daemonConfig, out io.Writer) error {
 	}
 	cfg := serve.Config{
 		Options: opts, LogDepth: dc.logDepth, DegradeFactor: dc.degrade, Shards: shards,
-		Quota:    serve.QuotaConfig{Rate: dc.quotaRate, Burst: dc.quotaBurst, TenantDepth: dc.quotaDepth, Weights: weights},
-		Overload: serve.OverloadConfig{LookupRate: dc.degradeLookups, Staleness: dc.degradeStaleness, Window: dc.degradeWindow},
+		DeltaRing: dc.deltaRing,
+		Quota:     serve.QuotaConfig{Rate: dc.quotaRate, Burst: dc.quotaBurst, TenantDepth: dc.quotaDepth, Weights: weights},
+		Overload:  serve.OverloadConfig{LookupRate: dc.degradeLookups, Staleness: dc.degradeStaleness, Window: dc.degradeWindow},
+	}
+	newDurability := func(pol wal.Policy) serve.DurabilityConfig {
+		return serve.DurabilityConfig{
+			Fsync:           pol,
+			FsyncInterval:   dc.fsyncInterval,
+			CheckpointEvery: dc.checkpointEvery,
+			KeepCheckpoints: dc.keepCheckpoints,
+			MaxDeltaChain:   dc.maxDeltaChain,
+		}
 	}
 
 	loadGraph := func() (*graph.Graph, error) {
@@ -298,7 +359,7 @@ func run(dc daemonConfig, out io.Writer) error {
 	}
 
 	var st *serve.Store
-	var rep *replicaState
+	var rep *api.Replica
 	switch {
 	case dc.follow != "":
 		if dc.dataDir == "" {
@@ -311,12 +372,7 @@ func run(dc daemonConfig, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cfg.Durability = serve.DurabilityConfig{
-			Fsync:           pol,
-			FsyncInterval:   dc.fsyncInterval,
-			CheckpointEvery: dc.checkpointEvery,
-			KeepCheckpoints: dc.keepCheckpoints,
-		}
+		cfg.Durability = newDurability(pol)
 		cfg.Shards = dc.shards // 0 inherits the leader's checkpointed layout
 		fmt.Fprintf(out, "spinnerd: following %s from %s (fsync=%s)...\n", dc.follow, dc.dataDir, pol)
 		fl, err := replica.StartFollower(replica.FollowerConfig{
@@ -327,10 +383,10 @@ func run(dc daemonConfig, out io.Writer) error {
 		}
 		defer fl.Close()
 		st = fl.Store()
-		rep = &replicaState{
-			fl:           fl,
-			srv:          replica.NewServer(st, dc.dataDir, fl.Epoch),
-			maxStaleness: dc.maxStaleness,
+		rep = &api.Replica{
+			Fl:           fl,
+			Srv:          replica.NewServer(st, dc.dataDir, fl.Epoch),
+			MaxStaleness: dc.maxStaleness,
 		}
 		fmt.Fprintf(out, "spinnerd: follower at epoch %d, applied seq %d\n", fl.Epoch(), fl.AppliedSeq())
 	case dc.dataDir != "":
@@ -338,12 +394,7 @@ func run(dc daemonConfig, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cfg.Durability = serve.DurabilityConfig{
-			Fsync:           pol,
-			FsyncInterval:   dc.fsyncInterval,
-			CheckpointEvery: dc.checkpointEvery,
-			KeepCheckpoints: dc.keepCheckpoints,
-		}
+		cfg.Durability = newDurability(pol)
 		if serve.HasState(dc.dataDir) {
 			fmt.Fprintf(out, "spinnerd: recovering from %s (fsync=%s)...\n", dc.dataDir, pol)
 			cfg.Shards = dc.shards // 0 keeps the checkpointed layout
@@ -386,7 +437,7 @@ func run(dc daemonConfig, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep = &replicaState{srv: replica.NewServer(st, dc.dataDir, func() uint64 { return ep.Epoch })}
+		rep = &api.Replica{Srv: replica.NewServer(st, dc.dataDir, func() uint64 { return ep.Epoch })}
 	}
 	snap := st.Snapshot()
 	fmt.Fprintf(out, "spinnerd: serving (cut ratio %.4f)\n", snap.CutRatio)
@@ -395,7 +446,7 @@ func run(dc daemonConfig, out io.Writer) error {
 		return runDemo(st, dc.demo, dc.seed, out)
 	}
 	fmt.Fprintf(out, "spinnerd: listening on %s\n", dc.addr)
-	srv := &http.Server{Addr: dc.addr, Handler: newMux(st, rep)}
+	srv := &http.Server{Addr: dc.addr, Handler: api.NewServer(st, rep).Mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -472,235 +523,6 @@ func describe(s *serve.Snapshot) string {
 		s.Version, len(s.Labels), s.K, s.CutRatio, s.Epoch)
 }
 
-// replicaState carries the node's replication role into the mux: srv is
-// non-nil on any durable node (it serves the journal stream), fl is
-// non-nil in follower mode. Both nil = an in-memory node with no
-// replication surface.
-type replicaState struct {
-	srv          *replica.Server
-	fl           *replica.Follower
-	maxStaleness time.Duration
-}
-
-// following reports whether the node is still a tailing follower (false
-// once promoted — and on leaders, which never had a tail).
-func (rs *replicaState) following() bool {
-	return rs != nil && rs.fl != nil && !rs.fl.Promoted()
-}
-
-func (rs *replicaState) role() string {
-	if rs.following() {
-		return "follower"
-	}
-	return "leader"
-}
-
-// newMux wires the store into an HTTP API. Success and error bodies are
-// both JSON (errors are {"error": msg}); see the package comment for the
-// exact shapes. rep may be nil (in-memory node: no replication surface).
-func newMux(st *serve.Store, rep *replicaState) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if st.Degraded() {
-			payload := map[string]any{"status": "degraded"}
-			if err := st.Err(); err != nil {
-				payload["error"] = err.Error()
-			}
-			writeJSON(w, http.StatusServiceUnavailable, payload)
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /lookup", func(w http.ResponseWriter, r *http.Request) {
-		v, err := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad vertex id")
-			return
-		}
-		if rep.following() && rep.maxStaleness > 0 && rep.fl.Staleness() > rep.maxStaleness {
-			st.Counters().StaleLookups.Add(1)
-			writeErrorCode(w, http.StatusServiceUnavailable, "stale_replica",
-				fmt.Sprintf("replica %s behind the leader (bound %s)", rep.fl.Staleness().Round(time.Millisecond), rep.maxStaleness), time.Second)
-			return
-		}
-		part, ok := st.Lookup(graph.VertexID(v))
-		if !ok {
-			writeError(w, http.StatusNotFound, "vertex not found")
-			return
-		}
-		snap := st.Snapshot()
-		writeJSON(w, http.StatusOK, map[string]any{"vertex": v, "partition": part, "version": snap.Version, "k": snap.K})
-	})
-	mux.HandleFunc("POST /mutate", func(w http.ResponseWriter, r *http.Request) {
-		mut, err := parseMutation(r.Body)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		mut.Tenant = r.Header.Get("X-Tenant")
-		if err := st.TrySubmit(mut); err != nil {
-			var qe *serve.QuotaError
-			switch {
-			case errors.As(err, &qe):
-				writeErrorCode(w, http.StatusTooManyRequests, "quota_exceeded", err.Error(), qe.RetryAfter)
-			case errors.Is(err, serve.ErrLogFull):
-				writeErrorCode(w, http.StatusTooManyRequests, "log_full", err.Error(), st.RetryAfter())
-			case errors.Is(err, serve.ErrDegraded):
-				writeErrorCode(w, http.StatusServiceUnavailable, "degraded", err.Error(), 0)
-			case errors.Is(err, serve.ErrReadOnly):
-				writeErrorCode(w, http.StatusServiceUnavailable, "read_only", err.Error(), 0)
-			default:
-				writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
-			}
-			return
-		}
-		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true,
-			"adds": len(mut.NewEdges), "removes": len(mut.RemovedEdges), "vertices": mut.NewVertices})
-	})
-	mux.HandleFunc("POST /resize", func(w http.ResponseWriter, r *http.Request) {
-		k, err := strconv.Atoi(r.URL.Query().Get("k"))
-		if err != nil || k < 1 {
-			writeError(w, http.StatusBadRequest, "bad k")
-			return
-		}
-		// Resizes are the most expensive write (global relabel + repair
-		// runs); under overload they are shed outright so the degradation
-		// budget is spent on keeping lookups and mutations flowing.
-		if st.Overloaded() {
-			st.Counters().ShedRequests.Add(1)
-			writeErrorCode(w, http.StatusServiceUnavailable, "overloaded", "serve: overloaded; resize shed", st.RetryAfter())
-			return
-		}
-		if err := st.Resize(k); err != nil {
-			switch {
-			case errors.Is(err, serve.ErrKUnchanged):
-				// The unchanged-k check lives inside Resize so concurrent
-				// duplicate resizes race atomically, not via a stale K().
-				writeErrorCode(w, http.StatusBadRequest, "k_unchanged", "k unchanged", 0)
-			case errors.Is(err, serve.ErrDegraded):
-				writeErrorCode(w, http.StatusServiceUnavailable, "degraded", err.Error(), 0)
-			case errors.Is(err, serve.ErrReadOnly):
-				writeErrorCode(w, http.StatusServiceUnavailable, "read_only", err.Error(), 0)
-			default:
-				writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
-			}
-			return
-		}
-		writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "k": k})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		snap := st.Snapshot()
-		ctr := st.Counters().Snapshot()
-		payload := map[string]any{
-			"vertices":         len(snap.Labels),
-			"k":                snap.K,
-			"version":          snap.Version,
-			"epoch":            snap.Epoch,
-			"applied":          snap.AppliedBatches,
-			"cut":              snap.CutRatio,
-			"cut_weight":       snap.CutWeight,
-			"total_weight":     snap.TotalWeight,
-			"cut_by_partition": snap.CutByPartition,
-			"shards":           snap.Shards,
-			"durable":          st.Durable(),
-			// Mean journal records framed per group append — the entries
-			// amortizing each fsync under -fsync always.
-			"journal_group_depth": ctr.GroupCommitDepth(),
-			"counters":            ctr,
-			"degraded":            st.Degraded(),
-			"overloaded":          st.Overloaded(),
-			"drain_rate":          st.DrainRate(),
-			"lookup_rate":         st.LookupRate(),
-			"tenants":             st.Tenants(),
-			"role":                rep.role(),
-			"applied_seq":         st.JournalSeq(),
-			"leader_seq":          st.JournalSeq(),
-		}
-		if rep.following() {
-			payload["applied_seq"] = rep.fl.AppliedSeq()
-			payload["leader_seq"] = rep.fl.LeaderSeq()
-			payload["staleness_ms"] = rep.fl.Staleness().Milliseconds()
-			if err := rep.fl.Err(); err != nil {
-				payload["replication_error"] = err.Error()
-			}
-		}
-		if rep != nil && rep.fl != nil {
-			payload["replica_epoch"] = rep.fl.Epoch()
-		}
-		if err := st.Err(); err != nil {
-			payload["last_error"] = err.Error()
-		}
-		writeJSON(w, http.StatusOK, payload)
-	})
-	replicating := func(w http.ResponseWriter) bool {
-		if rep == nil || rep.srv == nil {
-			writeErrorCode(w, http.StatusServiceUnavailable, "not_durable", "replication requires -data-dir", 0)
-			return false
-		}
-		if rep.following() {
-			// A tailing follower does not serve the stream: chaining
-			// replicas from a replica would hide leader truncation and
-			// staleness behind a second hop. Promote first.
-			writeErrorCode(w, http.StatusServiceUnavailable, "follower", "node is a follower; promote it to serve replication", 0)
-			return false
-		}
-		return true
-	}
-	mux.HandleFunc("GET /replicate", func(w http.ResponseWriter, r *http.Request) {
-		if !replicating(w) {
-			return
-		}
-		rep.srv.ServeStream(w, r)
-	})
-	mux.HandleFunc("GET /replicate/checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		if !replicating(w) {
-			return
-		}
-		rep.srv.ServeCheckpoint(w, r)
-	})
-	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
-		if rep == nil || rep.fl == nil {
-			writeErrorCode(w, http.StatusConflict, "not_follower", "node is not running with -follow", 0)
-			return
-		}
-		ep, err := rep.fl.Promote()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "epoch": ep.Epoch, "sealed_seq": ep.SealedSeq})
-	})
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// writeError emits the JSON error shape every endpoint shares:
-// {"error": msg} with the status carrying the class.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]any{"error": msg})
-}
-
-// writeErrorCode is writeError plus a stable machine-readable "code"
-// field and, when retryAfter > 0, a Retry-After header carrying an
-// honest backoff hint (whole seconds, minimum 1) computed from the
-// store's observed drain rate.
-func writeErrorCode(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
-	if retryAfter > 0 {
-		secs := int(retryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-	}
-	writeJSON(w, status, map[string]any{"error": msg, "code": code})
-}
-
 // parseWeights parses the -quota-weights "tenant=weight,..." CSV.
 func parseWeights(s string) (map[string]int, error) {
 	if s == "" {
@@ -716,65 +538,4 @@ func parseWeights(s string) (map[string]int, error) {
 		weights[name] = w
 	}
 	return weights, nil
-}
-
-// parseMutation reads the /mutate line protocol.
-func parseMutation(r io.Reader) (*graph.Mutation, error) {
-	mut := &graph.Mutation{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-			continue
-		}
-		switch fields[0] {
-		case "+":
-			if len(fields) < 3 {
-				return nil, fmt.Errorf("line %d: want '+ u v [w]'", lineNo)
-			}
-			u, err1 := strconv.ParseInt(fields[1], 10, 32)
-			v, err2 := strconv.ParseInt(fields[2], 10, 32)
-			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("line %d: bad endpoints", lineNo)
-			}
-			weight := int64(2)
-			if len(fields) > 3 {
-				var err error
-				weight, err = strconv.ParseInt(fields[3], 10, 32)
-				if err != nil || weight < 1 {
-					return nil, fmt.Errorf("line %d: bad weight %q", lineNo, fields[3])
-				}
-			}
-			mut.NewEdges = append(mut.NewEdges, graph.WeightedEdgeRecord{
-				U: graph.VertexID(u), V: graph.VertexID(v), Weight: int32(weight)})
-		case "-":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("line %d: want '- u v'", lineNo)
-			}
-			u, err1 := strconv.ParseInt(fields[1], 10, 32)
-			v, err2 := strconv.ParseInt(fields[2], 10, 32)
-			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("line %d: bad endpoints", lineNo)
-			}
-			mut.RemovedEdges = append(mut.RemovedEdges, graph.Edge{From: graph.VertexID(u), To: graph.VertexID(v)})
-		case "v":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("line %d: want 'v n'", lineNo)
-			}
-			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 0 || n > graph.MaxVertices || mut.NewVertices > graph.MaxVertices-n {
-				return nil, fmt.Errorf("line %d: bad vertex count %q", lineNo, fields[1])
-			}
-			mut.NewVertices += n
-		default:
-			return nil, fmt.Errorf("line %d: unknown op %q", lineNo, fields[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return mut, nil
 }

@@ -1,245 +1,35 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
-	"net/http"
-	"net/http/httptest"
-	"os"
-	"strconv"
 	"strings"
 	"testing"
 	"time"
-
-	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/graph"
-	"repro/internal/serve"
-	"repro/internal/wal"
 )
 
-func testStore(t *testing.T, k int) *serve.Store {
-	t.Helper()
-	opts := core.DefaultOptions(k)
-	opts.Seed = 7
-	opts.NumWorkers = 2
-	opts.MaxIterations = 30
-	st, err := serve.Bootstrap(gen.WattsStrogatz(600, 8, 0.2, 7), serve.Config{Options: opts})
+// The HTTP surface itself is tested in internal/api; these tests cover
+// what is left in the command: flag plumbing and the demo/durable modes.
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("teamA=4, teamB=1,default=2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { st.Close() })
-	return st
-}
-
-func TestHTTPLookupAndStats(t *testing.T) {
-	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-
-	resp, err := http.Get(srv.URL + "/lookup?v=5")
-	if err != nil {
-		t.Fatal(err)
+	want := map[string]int{"teamA": 4, "teamB": 1, "default": 2}
+	if len(w) != len(want) {
+		t.Fatalf("parsed %v, want %v", w, want)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("lookup status %d", resp.StatusCode)
-	}
-	var body struct {
-		Vertex    int64  `json:"vertex"`
-		Partition int32  `json:"partition"`
-		Version   uint64 `json:"version"`
-		K         int    `json:"k"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		t.Fatal(err)
-	}
-	if body.Vertex != 5 || body.Partition < 0 || int(body.Partition) >= body.K {
-		t.Fatalf("lookup body %+v", body)
-	}
-
-	for _, bad := range []string{"/lookup?v=abc", "/lookup?v=", "/lookup"} {
-		r, err := http.Get(srv.URL + bad)
-		if err != nil {
-			t.Fatal(err)
-		}
-		r.Body.Close()
-		if r.StatusCode != http.StatusBadRequest {
-			t.Fatalf("%s status %d, want 400", bad, r.StatusCode)
+	for k, v := range want {
+		if w[k] != v {
+			t.Fatalf("parsed %v, want %v", w, want)
 		}
 	}
-	r, err := http.Get(srv.URL + "/lookup?v=100000")
-	if err != nil {
-		t.Fatal(err)
+	if w, err := parseWeights(""); err != nil || w != nil {
+		t.Fatalf("empty weights = %v, %v; want nil, nil", w, err)
 	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusNotFound {
-		t.Fatalf("missing vertex status %d, want 404", r.StatusCode)
-	}
-
-	r, err = http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Body.Close()
-	var stats map[string]any
-	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	if stats["vertices"].(float64) != 600 || stats["k"].(float64) != 4 {
-		t.Fatalf("stats %v", stats)
-	}
-
-	r, err = http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", r.StatusCode)
-	}
-}
-
-func TestHTTPMutateAndResize(t *testing.T) {
-	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-
-	body := "# add two vertices and wire them in\nv 2\n+ 600 0\n+ 601 1 3\n- 0 1\n"
-	resp, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("mutate status %d", resp.StatusCode)
-	}
-	if err := st.Quiesce(); err != nil {
-		// {0,1} may legitimately be absent in the generated graph; only a
-		// rejected-batch error is acceptable here.
-		if !strings.Contains(err.Error(), "absent edge") {
-			t.Fatal(err)
+	for _, bad := range []string{"teamA", "teamA=", "teamA=0", "teamA=-1", "teamA=x", "=3", "a=1,,b=2"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Fatalf("parseWeights(%q) accepted", bad)
 		}
-	}
-
-	resp, err = http.Post(srv.URL+"/resize?k=6", "text/plain", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("resize status %d", resp.StatusCode)
-	}
-	if err := st.Quiesce(); err != nil && !strings.Contains(err.Error(), "absent edge") {
-		t.Fatal(err)
-	}
-	if got := st.Snapshot().K; got != 6 {
-		t.Fatalf("k after resize = %d, want 6", got)
-	}
-
-	for _, bad := range []string{"/resize", "/resize?k=0", "/resize?k=x"} {
-		r, err := http.Post(srv.URL+bad, "text/plain", nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		r.Body.Close()
-		if r.StatusCode != http.StatusBadRequest {
-			t.Fatalf("%s status %d, want 400", bad, r.StatusCode)
-		}
-	}
-
-	r, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader("bogus 1 2\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad mutate status %d, want 400", r.StatusCode)
-	}
-}
-
-func TestParseMutation(t *testing.T) {
-	mut, err := parseMutation(strings.NewReader("v 3\n+ 1 2\n+ 2 3 5\n- 4 5\n\n# comment\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if mut.NewVertices != 3 || len(mut.NewEdges) != 2 || len(mut.RemovedEdges) != 1 {
-		t.Fatalf("parsed %+v", mut)
-	}
-	if mut.NewEdges[0].Weight != 2 || mut.NewEdges[1].Weight != 5 {
-		t.Fatalf("weights %d,%d", mut.NewEdges[0].Weight, mut.NewEdges[1].Weight)
-	}
-	for _, bad := range []string{"+ 1\n", "- 1\n", "v x\n", "v -1\n", "v 999999999999\n", "v 8000000\nv 8000000\n", "+ a b\n", "+ 1 2 0\n", "? 1 2\n"} {
-		if _, err := parseMutation(strings.NewReader(bad)); err == nil {
-			t.Fatalf("parseMutation(%q) accepted", bad)
-		}
-	}
-}
-
-// Every HTTP error path must report the right status code and leave the
-// store untouched: same snapshot version, batch counts, and k.
-func TestHTTPErrorPathsLeaveStoreUntouched(t *testing.T) {
-	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-	if err := st.Quiesce(); err != nil {
-		t.Fatal(err)
-	}
-	before := st.Snapshot()
-	beforeCtr := st.Counters().Snapshot()
-
-	cases := []struct {
-		method, path, body string
-		wantStatus         int
-	}{
-		// /resize: malformed, out-of-range, and unchanged k.
-		{"POST", "/resize", "", http.StatusBadRequest},
-		{"POST", "/resize?k=0", "", http.StatusBadRequest},
-		{"POST", "/resize?k=-3", "", http.StatusBadRequest},
-		{"POST", "/resize?k=abc", "", http.StatusBadRequest},
-		{"POST", "/resize?k=4", "", http.StatusBadRequest}, // unchanged
-		// /mutate: malformed bodies.
-		{"POST", "/mutate", "bogus 1 2\n", http.StatusBadRequest},
-		{"POST", "/mutate", "+ 1\n", http.StatusBadRequest},
-		{"POST", "/mutate", "+ a b\n", http.StatusBadRequest},
-		{"POST", "/mutate", "+ 1 2 -5\n", http.StatusBadRequest},
-		{"POST", "/mutate", "- 1\n", http.StatusBadRequest},
-		{"POST", "/mutate", "v notanumber\n", http.StatusBadRequest},
-		{"POST", "/mutate", "{\"json\": \"not the protocol\"}", http.StatusBadRequest},
-		// /lookup: malformed and unknown vertices.
-		{"GET", "/lookup?v=junk", "", http.StatusBadRequest},
-		{"GET", "/lookup", "", http.StatusBadRequest},
-		{"GET", "/lookup?v=999999", "", http.StatusNotFound},
-		{"GET", "/lookup?v=-1", "", http.StatusNotFound},
-	}
-	for _, tc := range cases {
-		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != tc.wantStatus {
-			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
-		}
-	}
-
-	if err := st.Quiesce(); err != nil {
-		t.Fatal(err)
-	}
-	after := st.Snapshot()
-	afterCtr := st.Counters().Snapshot()
-	if after.Version != before.Version || after.K != before.K ||
-		after.AppliedBatches != before.AppliedBatches || len(after.Labels) != len(before.Labels) {
-		t.Fatalf("error paths mutated the store: %+v -> %+v", before, after)
-	}
-	if afterCtr.BatchesApplied != beforeCtr.BatchesApplied ||
-		afterCtr.BatchesRejected != beforeCtr.BatchesRejected ||
-		afterCtr.ElasticResizes != beforeCtr.ElasticResizes {
-		t.Fatalf("error paths reached the maintenance plane: %v -> %v", beforeCtr, afterCtr)
 	}
 }
 
@@ -256,44 +46,6 @@ func TestDemoMode(t *testing.T) {
 	for _, want := range []string{"spinnerd: serving", "spinnerd demo:", "lookups", "snapshot v"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("demo output missing %q:\n%s", want, out)
-		}
-	}
-}
-
-// Every error path must answer with the shared JSON error shape
-// {"error": msg}, not a plain-text body.
-func TestHTTPErrorBodiesAreJSON(t *testing.T) {
-	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-	cases := []struct {
-		method, path, body string
-	}{
-		{"GET", "/lookup?v=abc", ""},
-		{"GET", "/lookup?v=99999999", ""},
-		{"POST", "/mutate", "bogus 1 2\n"},
-		{"POST", "/resize?k=0", ""},
-		{"POST", "/resize?k=4", ""}, // unchanged k
-	}
-	for _, tc := range cases {
-		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
-			t.Fatalf("%s %s: Content-Type %q", tc.method, tc.path, ct)
-		}
-		var body struct {
-			Error string `json:"error"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&body)
-		resp.Body.Close()
-		if err != nil || body.Error == "" {
-			t.Fatalf("%s %s: error body not {\"error\": msg}: %v", tc.method, tc.path, err)
 		}
 	}
 }
@@ -327,301 +79,5 @@ func TestDurableDemoBootstrapAndRecover(t *testing.T) {
 	}
 	if !strings.Contains(out, "recovered 800 vertices") {
 		t.Fatalf("recovery lost the vertex space:\n%s", out)
-	}
-}
-
-// A tenant past its token-bucket quota gets 429 with the stable
-// machine-readable code, an honest Retry-After header, and per-tenant
-// accounting in /stats; other tenants are unaffected.
-func TestHTTPQuotaRejection(t *testing.T) {
-	opts := core.DefaultOptions(4)
-	opts.Seed = 7
-	opts.NumWorkers = 2
-	opts.MaxIterations = 30
-	cfg := serve.Config{Options: opts,
-		Quota: serve.QuotaConfig{Rate: 0.001, Burst: 1}}
-	st, err := serve.Bootstrap(gen.WattsStrogatz(600, 8, 0.2, 7), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st.Close()
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-
-	mutate := func(tenant string) *http.Response {
-		req, err := http.NewRequest("POST", srv.URL+"/mutate", strings.NewReader("+ 1 2\n"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if tenant != "" {
-			req.Header.Set("X-Tenant", tenant)
-		}
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return resp
-	}
-
-	if resp := mutate("alpha"); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("first alpha mutate status %d, want 202", resp.StatusCode)
-	} else {
-		resp.Body.Close()
-	}
-	resp := mutate("alpha") // burst of 1 spent, refill ~17 min away
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("second alpha mutate status %d, want 429", resp.StatusCode)
-	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Fatal("429 without Retry-After header")
-	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
-		t.Fatalf("Retry-After %q, want whole seconds >= 1", ra)
-	}
-	var body struct {
-		Error string `json:"error"`
-		Code  string `json:"code"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&body)
-	resp.Body.Close()
-	if err != nil || body.Code != "quota_exceeded" || body.Error == "" {
-		t.Fatalf("429 body = %+v, err %v; want code quota_exceeded", body, err)
-	}
-
-	// A different tenant has its own bucket and sails through.
-	if resp := mutate("beta"); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("beta mutate status %d, want 202", resp.StatusCode)
-	} else {
-		resp.Body.Close()
-	}
-
-	r, err := http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Body.Close()
-	var stats struct {
-		Tenants map[string]struct {
-			Submitted     int64 `json:"submitted"`
-			QuotaRejected int64 `json:"quota_rejected"`
-		} `json:"tenants"`
-		Counters struct {
-			QuotaRejections int64
-		} `json:"counters"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	alpha := stats.Tenants["alpha"]
-	if alpha.Submitted != 1 || alpha.QuotaRejected != 1 {
-		t.Fatalf("alpha stats %+v, want submitted=1 quota_rejected=1", alpha)
-	}
-	if beta := stats.Tenants["beta"]; beta.Submitted != 1 || beta.QuotaRejected != 0 {
-		t.Fatalf("beta stats %+v, want submitted=1 quota_rejected=0", beta)
-	}
-	if stats.Counters.QuotaRejections != 1 {
-		t.Fatalf("QuotaRejections = %d, want 1", stats.Counters.QuotaRejections)
-	}
-}
-
-// While the store is overloaded, /resize is shed with 503 + Retry-After
-// and the shed is counted; lookups and mutations keep flowing.
-func TestHTTPResizeShedUnderOverload(t *testing.T) {
-	opts := core.DefaultOptions(4)
-	opts.Seed = 7
-	opts.NumWorkers = 2
-	opts.MaxIterations = 30
-	cfg := serve.Config{Options: opts,
-		Overload: serve.OverloadConfig{LookupRate: 1, Window: 5 * time.Millisecond}}
-	st, err := serve.Bootstrap(gen.WattsStrogatz(600, 8, 0.2, 7), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st.Close()
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-
-	// Hammer lookups until the EWMA detector trips (well above 1/sec).
-	deadline := time.Now().Add(5 * time.Second)
-	for !st.Overloaded() {
-		if time.Now().After(deadline) {
-			t.Fatal("overload detector never tripped")
-		}
-		for v := 0; v < 500; v++ {
-			st.Lookup(graph.VertexID(v))
-		}
-	}
-
-	resp, err := http.Post(srv.URL+"/resize?k=6", "text/plain", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("overloaded resize status %d, want 503", resp.StatusCode)
-	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Fatal("shed resize without Retry-After header")
-	}
-	var body struct {
-		Code string `json:"code"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&body)
-	resp.Body.Close()
-	if err != nil || body.Code != "overloaded" {
-		t.Fatalf("shed body code = %q, err %v; want overloaded", body.Code, err)
-	}
-	if got := st.Counters().ShedRequests.Load(); got < 1 {
-		t.Fatalf("ShedRequests = %d, want >= 1", got)
-	}
-
-	// Mutations still flow while overloaded.
-	r, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader("v 1\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusAccepted {
-		t.Fatalf("mutate while overloaded status %d, want 202", r.StatusCode)
-	}
-}
-
-// After an injected storage fault the daemon fails stop: /healthz flips
-// to 503 {"status":"degraded"}, writes refuse with code "degraded", and
-// lookups keep serving the last applied state.
-func TestHTTPDegradedAfterStorageFault(t *testing.T) {
-	opts := core.DefaultOptions(4)
-	opts.Seed = 7
-	opts.NumWorkers = 2
-	opts.MaxIterations = 30
-	cfg := serve.Config{Options: opts, Shards: 2,
-		Durability: serve.DurabilityConfig{Fsync: wal.SyncNever}}
-	st, err := serve.BootstrapDurable(t.TempDir(), gen.WattsStrogatz(600, 8, 0.2, 7), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st.Close()
-	if err := st.Quiesce(); err != nil {
-		t.Fatal(err)
-	}
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-
-	restore := wal.InjectFaults(func(*os.File, []byte) (int, error) {
-		return 0, errors.New("injected: disk gone")
-	}, nil)
-	defer restore()
-
-	// The faulted write happens on the coordinator after the 202; poll
-	// until the fail-stop transition lands.
-	r, err := http.Post(srv.URL+"/mutate", "text/plain", strings.NewReader("v 1\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusAccepted {
-		t.Fatalf("mutate status %d, want 202", r.StatusCode)
-	}
-	deadline := time.Now().Add(5 * time.Second)
-	for !st.Degraded() {
-		if time.Now().After(deadline) {
-			t.Fatal("store never degraded after injected journal fault")
-		}
-		time.Sleep(time.Millisecond)
-	}
-
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("degraded healthz status %d, want 503", resp.StatusCode)
-	}
-	var health struct {
-		Status string `json:"status"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&health)
-	resp.Body.Close()
-	if err != nil || health.Status != "degraded" {
-		t.Fatalf("healthz body status = %q, err %v; want degraded", health.Status, err)
-	}
-
-	for _, tc := range []struct{ path, body string }{
-		{"/mutate", "v 1\n"},
-		{"/resize?k=6", ""},
-	} {
-		resp, err := http.Post(srv.URL+tc.path, "text/plain", strings.NewReader(tc.body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var body struct {
-			Code string `json:"code"`
-		}
-		derr := json.NewDecoder(resp.Body).Decode(&body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusServiceUnavailable || derr != nil || body.Code != "degraded" {
-			t.Fatalf("POST %s while degraded: status %d code %q err %v; want 503 degraded",
-				tc.path, resp.StatusCode, body.Code, derr)
-		}
-	}
-
-	// The read path is unaffected.
-	lr, err := http.Get(srv.URL + "/lookup?v=5")
-	if err != nil {
-		t.Fatal(err)
-	}
-	lr.Body.Close()
-	if lr.StatusCode != http.StatusOK {
-		t.Fatalf("lookup while degraded status %d, want 200", lr.StatusCode)
-	}
-}
-
-func TestParseWeights(t *testing.T) {
-	w, err := parseWeights("teamA=4, teamB=1,default=2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := map[string]int{"teamA": 4, "teamB": 1, "default": 2}
-	if len(w) != len(want) {
-		t.Fatalf("parsed %v, want %v", w, want)
-	}
-	for k, v := range want {
-		if w[k] != v {
-			t.Fatalf("parsed %v, want %v", w, want)
-		}
-	}
-	if w, err := parseWeights(""); err != nil || w != nil {
-		t.Fatalf("empty weights = %v, %v; want nil, nil", w, err)
-	}
-	for _, bad := range []string{"teamA", "teamA=", "teamA=0", "teamA=-1", "teamA=x", "=3", "a=1,,b=2"} {
-		if _, err := parseWeights(bad); err == nil {
-			t.Fatalf("parseWeights(%q) accepted", bad)
-		}
-	}
-}
-
-// The /stats payload must expose the durability counters and flag.
-func TestHTTPStatsDurabilityFields(t *testing.T) {
-	st := testStore(t, 4)
-	srv := httptest.NewServer(newMux(st, nil))
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var stats map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	if durable, ok := stats["durable"].(bool); !ok || durable {
-		t.Fatalf("in-memory store durable flag = %v", stats["durable"])
-	}
-	ctr, ok := stats["counters"].(map[string]any)
-	if !ok {
-		t.Fatalf("counters missing: %v", stats)
-	}
-	for _, field := range []string{"JournalAppends", "JournalBytes", "JournalSyncs", "Checkpoints", "ReplayedRecords"} {
-		if _, ok := ctr[field]; !ok {
-			t.Fatalf("counters missing %s: %v", field, ctr)
-		}
 	}
 }

@@ -1,0 +1,137 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// watchBatch bounds the deltas fetched (and framed) per iteration so a
+// far-behind consumer streams in chunks instead of one giant write.
+const watchBatch = 256
+
+// handleWatch serves GET /v1/watch?from_seq=N — a chunked stream of
+// delta frames starting at sequence N+1 (from_seq names the last delta
+// the consumer has applied; 0 = from the beginning, whose first delta is
+// the baseline full-label record). The stream long-polls: while the
+// consumer is caught up the server parks on the store's delta
+// notification channel and emits heartbeat frames so the consumer can
+// see the floor advance. 410 Gone answers a cursor the ring can no
+// longer serve — either compacted (N+1 below the floor) or reset (N
+// ahead of the newest sequence, i.e. minted by a previous server
+// incarnation); both mean "full resync via /v1/lookup, then re-watch
+// from the returned from_seq".
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	after := uint64(0)
+	if raw := q.Get("from_seq"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad from_seq")
+			return
+		}
+		after = v
+	}
+	// limit caps the delta frames delivered before the server closes the
+	// stream (0 = stream forever) — for consumers that want a bounded
+	// catch-up read rather than a subscription.
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = v
+	}
+
+	floor, next := s.st.DeltaBounds()
+	if after+1 < floor {
+		writeErrorCode(w, http.StatusGone, "compacted",
+			fmt.Sprintf("delta %d compacted away (floor %d); full resync required", after+1, floor), 0)
+		return
+	}
+	if after >= next {
+		writeErrorCode(w, http.StatusGone, "reset",
+			fmt.Sprintf("from_seq %d is ahead of the newest delta %d (server restarted?); full resync required", after, next-1), 0)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	s.st.Counters().WatchStreams.Add(1)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Delta-Floor", strconv.FormatUint(floor, 10))
+	w.Header().Set("X-Delta-Next", strconv.FormatUint(next, 10))
+	w.WriteHeader(http.StatusOK)
+	buf := AppendWatchFrame(nil, WatchFrame{Kind: WatchHandshake, Floor: floor, Next: next})
+	if _, err := w.Write(buf); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	heartbeat := s.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	timer := time.NewTimer(heartbeat)
+	defer timer.Stop()
+	ctx := r.Context()
+	sent := 0
+	for {
+		// Grab the notification channel BEFORE reading, so a delta
+		// published between the read and the park wakes us immediately.
+		notify := s.st.DeltaNotify()
+		ds, _ := s.st.DeltasSince(after, watchBatch)
+		if len(ds) > 0 {
+			if ds[0].Seq != after+1 {
+				// Compaction overtook the cursor mid-stream (the consumer
+				// fell behind a full ring). End the stream; the reconnect
+				// gets an honest 410 and resyncs.
+				return
+			}
+			buf = buf[:0]
+			for _, d := range ds {
+				buf = AppendWatchFrame(buf, WatchFrame{Kind: WatchDelta, Delta: serve.EncodeDelta(d)})
+				after = d.Seq
+				sent++
+				if limit > 0 && sent >= limit {
+					break
+				}
+			}
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flusher.Flush()
+			if limit > 0 && sent >= limit {
+				return
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(heartbeat)
+		select {
+		case <-ctx.Done():
+			return
+		case <-notify:
+		case <-timer.C:
+			f, n := s.st.DeltaBounds()
+			buf = AppendWatchFrame(buf[:0], WatchFrame{Kind: WatchHeartbeat, Floor: f, Next: n})
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

@@ -85,10 +85,17 @@ type ServeCounters struct {
 	JournalAppends atomic.Int64
 	JournalBytes   atomic.Int64
 	JournalSyncs   atomic.Int64
-	// Checkpoints counts snapshot checkpoints atomically installed;
-	// CheckpointBytes totals their payload size.
+	// Checkpoints counts snapshot checkpoints atomically installed
+	// (full and incremental); CheckpointBytes totals their payload size.
 	Checkpoints     atomic.Int64
 	CheckpointBytes atomic.Int64
+	// IncrCheckpointBytes totals the payload bytes of the incremental
+	// (delta) checkpoints among them — the churn-proportional share of
+	// CheckpointBytes. CheckpointRebases counts full re-encodes forced
+	// while a delta chain was open (chain-length cap or a delta too dense
+	// to pay off).
+	IncrCheckpointBytes atomic.Int64
+	CheckpointRebases   atomic.Int64
 	// ReplayedRecords counts journal records re-applied during crash
 	// recovery (serve.Open) — the recovery replay length.
 	ReplayedRecords atomic.Int64
@@ -128,6 +135,14 @@ type ServeCounters struct {
 	// ring when the coordinator forms a commit group from the backlog.
 	FairnessPasses atomic.Int64
 
+	// Change-feed path (the delta plane; see internal/serve/delta.go).
+
+	// DeltasPublished counts Delta records published into the change-feed
+	// ring (baselines, barrier deltas and counter-only deltas).
+	DeltasPublished atomic.Int64
+	// WatchStreams counts /v1/watch streams accepted (not currently open).
+	WatchStreams atomic.Int64
+
 	// Replication path (internal/replica; zero unless replicating).
 
 	// ReplicaFramesSent and ReplicaBytesSent total the stream frames a
@@ -163,6 +178,8 @@ type ServeSnapshot struct {
 	JournalAppends, JournalBytes            int64
 	JournalSyncs, Checkpoints               int64
 	CheckpointBytes, ReplayedRecords        int64
+	IncrCheckpointBytes, CheckpointRebases  int64
+	DeltasPublished, WatchStreams           int64
 	GroupCommits, GroupedEntries            int64
 	ApplyCoalesces, CoalescedBatches        int64
 	CheckpointsPending                      int64
@@ -204,6 +221,12 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		Checkpoints:      c.Checkpoints.Load(),
 		CheckpointBytes:  c.CheckpointBytes.Load(),
 		ReplayedRecords:  c.ReplayedRecords.Load(),
+
+		IncrCheckpointBytes: c.IncrCheckpointBytes.Load(),
+		CheckpointRebases:   c.CheckpointRebases.Load(),
+		DeltasPublished:     c.DeltasPublished.Load(),
+		WatchStreams:        c.WatchStreams.Load(),
+
 		GroupCommits:     c.GroupCommits.Load(),
 		GroupedEntries:   c.GroupedEntries.Load(),
 		ApplyCoalesces:   c.ApplyCoalesces.Load(),
@@ -248,7 +271,7 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, pending %d) replayed=%d quota-rej=%d shed=%d deferred=%d/%d fair=%d replica=%d/%dB (applied %d, fenced %d, reconnects %d, stale-503 %d)",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, incr %dB, rebases %d, pending %d) replayed=%d deltas=%d watches=%d quota-rej=%d shed=%d deferred=%d/%d fair=%d replica=%d/%dB (applied %d, fenced %d, reconnects %d, stale-503 %d)",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
 		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
@@ -257,7 +280,8 @@ func (s ServeSnapshot) String() string {
 		s.CutReconciles, s.CutDrift, s.ShardRebalances,
 		s.JournalAppends, s.JournalBytes, s.JournalSyncs,
 		s.GroupCommits, s.GroupCommitDepth(), s.CoalescedBatches, s.ApplyCoalesces,
-		s.Checkpoints, s.CheckpointBytes, s.CheckpointsPending, s.ReplayedRecords,
+		s.Checkpoints, s.CheckpointBytes, s.IncrCheckpointBytes, s.CheckpointRebases,
+		s.CheckpointsPending, s.ReplayedRecords, s.DeltasPublished, s.WatchStreams,
 		s.QuotaRejections, s.ShedRequests, s.DeferredRestabs, s.DeferredReconciles,
 		s.FairnessPasses,
 		s.ReplicaFramesSent, s.ReplicaBytesSent, s.ReplicaRecordsApplied,

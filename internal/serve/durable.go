@@ -34,9 +34,20 @@ package serve
 //     At most one checkpoint is in flight; the write plane never stops
 //     for the state encode. Close still checkpoints synchronously (after
 //     waiting out an in-flight capture), so graceful shutdown semantics
-//     are unchanged.
-//   - Recovery (Open): load the latest valid checkpoint, rebuild the
-//     shards over the decoded state (verifying the composed cut counters
+//     are unchanged. When the change feed is on (deltas recorded since
+//     the last checkpoint) and the chain gate passes, the interval is
+//     persisted as an INCREMENTAL checkpoint instead: a .dckp link
+//     holding just the label-run deltas since the previous link, chained
+//     by (seq, prevSeq) back to the last full base. The chain is capped
+//     (Durability.MaxDeltaChain) and a link that would not be meaningfully
+//     smaller than a full re-encode forces a rebase: a fresh full
+//     checkpoint, chain pruned, journal truncated — so recovery cost and
+//     disk footprint stay bounded while steady-state checkpoint bytes per
+//     interval shrink by orders of magnitude (see BenchmarkCheckpointDelta).
+//   - Recovery (Open): load the latest valid checkpoint — a full base
+//     plus any .dckp delta links chained above it, applied in order (a
+//     broken link ends the chain early; the journal tail covers the
+//     rest) — rebuild the shards over the decoded state (verifying the composed cut counters
 //     bit-for-bit against an exact recompute), then replay the journal
 //     tail through the normal shard-broadcast apply path, quiescing after
 //     each record. A torn tail is truncated; mid-log corruption fails
@@ -102,6 +113,15 @@ type DurabilityConfig struct {
 	// shutdown, slower next Open. (The crash-recovery tests use it to
 	// exercise replay.)
 	NoFinalCheckpoint bool
+	// MaxDeltaChain caps the chain of incremental (delta) checkpoints
+	// written between full re-encodes: after a full checkpoint, up to
+	// MaxDeltaChain checkpoints encode only the changed label runs plus
+	// the small metadata block against the previous encoding (bytes scale
+	// with churn, not |E|), then the next one rebases in full. A delta
+	// that would not undercut half the last full payload also forces a
+	// rebase. Default 8; negative disables incremental checkpoints
+	// (every checkpoint re-encodes in full, the pre-delta behavior).
+	MaxDeltaChain int
 }
 
 func (d *DurabilityConfig) normalize() {
@@ -110,6 +130,9 @@ func (d *DurabilityConfig) normalize() {
 	}
 	if d.KeepCheckpoints < 1 {
 		d.KeepCheckpoints = 2
+	}
+	if d.MaxDeltaChain == 0 {
+		d.MaxDeltaChain = 8
 	}
 }
 
@@ -126,6 +149,15 @@ type durable struct {
 	ckptApplied int64            // applied count at the last installed checkpoint
 	pending     bool             // a background checkpoint is in flight
 	groupBuf    []wal.GroupEntry // group-append staging, reused per turn
+
+	// Incremental-checkpoint chain state, touched only inside
+	// writeCheckpointState: at most one checkpoint is ever in flight
+	// (pending gates the background path; the synchronous paths run with
+	// nothing else active), so the writer owns these exclusively.
+	prevLabels []int32 // labels at the last written encoding; nil until a full lands
+	tipSeq     uint64  // journal seq of the chain tip (last written encoding)
+	chainLen   int     // delta links written since the last full checkpoint
+	fullBytes  int     // payload size of the last full checkpoint
 }
 
 // attachReq hands Open's freshly opened journal to the coordinator
@@ -209,27 +241,66 @@ func BootstrapDurable(dir string, g *graph.Graph, cfg Config) (*Store, error) {
 	return NewDurable(dir, w, res.Labels, cfg)
 }
 
-// Open recovers a Store from dir: it loads the latest valid checkpoint,
-// rebuilds the shards over it, replays the journal tail through the
-// normal apply path (quiescing after each record, so quiesced histories
-// recover bit-identically — see the durability comment above), verifies
-// the cut counters with an exact reconcile, and resumes journaling new
-// entries. Returns wal.ErrNoCheckpoint (wrapped) when dir holds no state.
+// Open recovers a Store from dir: it loads the newest valid base
+// checkpoint plus its chain of delta checkpoints (wal.LatestChain),
+// composes the chain — structurally replaying the journal across
+// (base, tip] to rebuild the graph while each link overlays the labels,
+// k, bounds and counters it covers — rebuilds the shards over the
+// composed state (re-verifying the cut counters bit-for-bit, which
+// checks the whole chain's integrity for free), replays any records past
+// the tip through the normal apply path (quiescing after each record, so
+// quiesced histories recover bit-identically — see the durability
+// comment above), verifies the counters again with an exact reconcile,
+// and resumes journaling new entries. With no chain on disk this is
+// exactly the pre-delta recovery. Returns wal.ErrNoCheckpoint (wrapped)
+// when dir holds no state.
 //
-// Batches that were rejected live re-reject identically during replay;
-// such errors are observable via Err, as they were, and do not fail
-// recovery. Journal or checkpoint corruption does.
+// Batches that were rejected live re-reject identically during replay
+// (both phases); such errors are observable via Err, as they were, and
+// do not fail recovery. Journal or checkpoint corruption does — except a
+// damaged chain link, which just shortens the chain (wal.LatestChain)
+// and lengthens the live replay tail.
 func Open(dir string, cfg Config) (*Store, error) {
-	seq, payload, err := wal.LatestCheckpoint(ckptDir(dir))
+	baseSeq, payload, chain, err := wal.LatestChain(ckptDir(dir))
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening %s: %w", dir, err)
 	}
 	st, err := decodeCheckpoint(payload)
 	if err != nil {
-		return nil, fmt.Errorf("serve: checkpoint %d in %s: %w", seq, dir, err)
+		return nil, fmt.Errorf("serve: checkpoint %d in %s: %w", baseSeq, dir, err)
 	}
-	if st.seq != seq {
-		return nil, fmt.Errorf("serve: checkpoint file %d declares inner seq %d", seq, st.seq)
+	if st.seq != baseSeq {
+		return nil, fmt.Errorf("serve: checkpoint file %d declares inner seq %d", baseSeq, st.seq)
+	}
+	seq := baseSeq
+	if len(chain) > 0 {
+		// Compose base+chain: walk the journal once from the base,
+		// overlaying each link when the replay cursor passes its sequence.
+		// Records past the tip are left to the live replay phase below.
+		idx := 0
+		if _, err := wal.Replay(journalDir(dir), baseSeq, func(rec wal.Record) error {
+			for idx < len(chain) && rec.Seq > chain[idx].Seq {
+				if err := applyCkptDelta(st, chain[idx]); err != nil {
+					return err
+				}
+				idx++
+			}
+			if idx >= len(chain) {
+				return nil
+			}
+			return applyStructural(st, rec)
+		}); err != nil {
+			return nil, fmt.Errorf("serve: composing checkpoint chain in %s: %w", dir, err)
+		}
+		// Links at or past the final record (the tip usually is).
+		for ; idx < len(chain); idx++ {
+			if err := applyCkptDelta(st, chain[idx]); err != nil {
+				return nil, fmt.Errorf("serve: composing checkpoint chain in %s: %w", dir, err)
+			}
+		}
+		// applyCkptDelta advanced st.seq to the tip; recovery resumes the
+		// journal (and the attach handshake) from there.
+		seq = chain[len(chain)-1].Seq
 	}
 	if cfg.Shards == 0 {
 		// Default to the checkpointed layout: recovery restores the shard
@@ -425,30 +496,69 @@ func (s *Store) maybeCheckpoint() {
 type ckptResult struct {
 	applied int64 // applied count at capture; ckptApplied advances to it
 	bytes   int
+	incr    bool // installed as a delta checkpoint (chain link)
+	rebase  bool // full encode forced while a chain was open (cap or size)
 	err     error
 }
 
 // writeCheckpointState encodes a captured state, atomically installs the
 // checkpoint file, prunes old checkpoints and truncates covered journal
-// segments. It touches only the capture, the checkpoint directory and
-// the (concurrency-safe) journal truncation API, so it is safe to run
-// off the coordinator; wal.WriteCheckpoint's tmp+fsync+rename keeps a
+// segments. It touches only the capture, the durable chain state (which
+// it owns — at most one checkpoint is in flight), the checkpoint
+// directory and the (concurrency-safe) journal truncation API, so it is
+// safe to run off the coordinator; the tmp+fsync+rename install keeps a
 // crash mid-write invisible to recovery.
+//
+// Incremental mode: while a chain is open and under MaxDeltaChain, the
+// state is encoded as changed label runs against the previous encoding
+// plus the metadata block — no graph re-encode, so the bytes scale with
+// label churn. The chain cap, a delta that fails to undercut half the
+// last full payload, or any state with no prior encoding (first
+// checkpoint, post-recovery) forces a full rebase, after which the
+// superseded delta files are pruned. The journal is always truncated
+// below the oldest retained FULL checkpoint only: chain recovery replays
+// the journal across (base, tip] to rebuild the graph, so those records
+// must survive until a rebase supersedes the chain.
 func (s *Store) writeCheckpointState(st *ckptState) ckptResult {
+	d := s.d
+	chainOpen := d.cfg.MaxDeltaChain > 0 && d.prevLabels != nil && st.seq > d.tipSeq
+	if chainOpen && d.chainLen < d.cfg.MaxDeltaChain {
+		runs := labelDiffRuns(d.prevLabels, st.labels)
+		payload := encodeDeltaCheckpoint(st, runs)
+		if 2*len(payload) < d.fullBytes {
+			if err := wal.WriteDeltaCheckpoint(ckptDir(d.dir), st.seq, d.tipSeq, payload); err != nil {
+				return ckptResult{applied: st.applied, err: err}
+			}
+			d.prevLabels = append(d.prevLabels[:0], st.labels...)
+			d.tipSeq = st.seq
+			d.chainLen++
+			return ckptResult{applied: st.applied, bytes: len(payload), incr: true}
+		}
+		// Too dense to pay off: fall through to a full rebase.
+	}
 	payload := encodeCheckpoint(st)
-	if err := wal.WriteCheckpoint(ckptDir(s.d.dir), st.seq, payload); err != nil {
+	if err := wal.WriteCheckpoint(ckptDir(d.dir), st.seq, payload); err != nil {
 		return ckptResult{applied: st.applied, err: err}
 	}
-	oldest, err := wal.PruneCheckpoints(ckptDir(s.d.dir), s.d.cfg.KeepCheckpoints)
+	oldest, err := wal.PruneCheckpoints(ckptDir(d.dir), d.cfg.KeepCheckpoints)
 	if err != nil {
 		return ckptResult{applied: st.applied, err: err}
 	}
-	if s.d.jrn != nil {
-		if _, err := s.d.jrn.TruncateBelow(oldest); err != nil {
+	// The new full supersedes every chain link at or below it.
+	if err := wal.PruneDeltaCheckpointsBelow(ckptDir(d.dir), st.seq); err != nil {
+		return ckptResult{applied: st.applied, err: err}
+	}
+	if d.jrn != nil {
+		if _, err := d.jrn.TruncateBelow(oldest); err != nil {
 			return ckptResult{applied: st.applied, err: err}
 		}
 	}
-	return ckptResult{applied: st.applied, bytes: len(payload)}
+	res := ckptResult{applied: st.applied, bytes: len(payload), rebase: chainOpen}
+	d.prevLabels = append(d.prevLabels[:0], st.labels...)
+	d.tipSeq = st.seq
+	d.chainLen = 0
+	d.fullBytes = len(payload)
+	return res
 }
 
 // finishCheckpoint lands the background checkpointer's report on the
@@ -464,8 +574,20 @@ func (s *Store) finishCheckpoint(res ckptResult) {
 		s.lastErr.Store(&err)
 		return
 	}
+	s.noteCheckpoint(res)
+}
+
+// noteCheckpoint folds one successful checkpoint install into the
+// counters, splitting the incremental and rebase axes out of the totals.
+func (s *Store) noteCheckpoint(res ckptResult) {
 	s.ctr.Checkpoints.Add(1)
 	s.ctr.CheckpointBytes.Add(int64(res.bytes))
+	if res.incr {
+		s.ctr.IncrCheckpointBytes.Add(int64(res.bytes))
+	}
+	if res.rebase {
+		s.ctr.CheckpointRebases.Add(1)
+	}
 }
 
 // checkpointNow captures, encodes and installs a checkpoint
@@ -478,8 +600,7 @@ func (s *Store) checkpointNow() error {
 	if res.err != nil {
 		return res.err
 	}
-	s.ctr.Checkpoints.Add(1)
-	s.ctr.CheckpointBytes.Add(int64(res.bytes))
+	s.noteCheckpoint(res)
 	s.d.ckptApplied = res.applied
 	return nil
 }
@@ -732,6 +853,234 @@ func decodeCheckpoint(payload []byte) (*ckptState, error) {
 	return st, nil
 }
 
+// Delta-checkpoint payload layout (little-endian; the file header with
+// the chained-from sequence and CRC lives in internal/wal): the full
+// checkpoint's metadata block re-encoded whole (it is tens of bytes),
+// changed label runs instead of the full label array, and NO graph —
+// recovery rebuilds the graph by structurally replaying the journal
+// across the chain (see Open), which is what makes the bytes scale with
+// churn instead of |E|.
+//
+//	u16 version | u64 seq | u64 applied | i64 appliedAtRestab
+//	i64 lastReconcile | u64 gen | u64 epoch | f64 baseline | u8 flags
+//	u32 k | u32 shards | (shards+1) × u64 bounds
+//	u32 n | label runs (delta.go appendRuns layout)
+//	i64 cross | i64 total
+//	u32 affected | affected × u32 vertex
+const dckpVersion = 1
+
+// encodeDeltaCheckpoint serializes a captured state as a chain link:
+// runs are the label changes since the previous encoding.
+func encodeDeltaCheckpoint(st *ckptState, runs []LabelRun) []byte {
+	size := 64 + 8*len(st.bounds) + 4*len(st.affected)
+	for _, r := range runs {
+		size += 8 + 4*len(r.Labels)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint16(buf, dckpVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, st.seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.applied))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.appliedAtRestab))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.lastReconcile))
+	buf = binary.LittleEndian.AppendUint64(buf, st.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, st.epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.baseline))
+	var flags byte
+	if st.wantRestab {
+		flags |= flagWantRestab
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.bounds)-1))
+	for _, b := range st.bounds {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.labels)))
+	buf = appendRuns(buf, runs)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.cross))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.total))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.affected)))
+	for _, v := range st.affected {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// ckptDelta is a decoded chain link: the metadata block at its sequence
+// plus the label runs taking the previous encoding's labels to its own.
+type ckptDelta struct {
+	seq             uint64
+	applied         int64
+	appliedAtRestab int64
+	lastReconcile   int64
+	gen, epoch      uint64
+	baseline        float64
+	wantRestab      bool
+	k               int
+	bounds          []int
+	n               int
+	runs            []LabelRun
+	cross, total    int64
+	affected        []graph.VertexID
+}
+
+func decodeDeltaCheckpoint(payload []byte) (*ckptDelta, error) {
+	r := &ckptReader{b: payload}
+	if v := r.u16(); r.err == nil && v != dckpVersion {
+		return nil, fmt.Errorf("delta checkpoint version %d, want %d", v, dckpVersion)
+	}
+	d := &ckptDelta{}
+	d.seq = r.u64()
+	d.applied = int64(r.u64())
+	d.appliedAtRestab = int64(r.u64())
+	d.lastReconcile = int64(r.u64())
+	d.gen = r.u64()
+	d.epoch = r.u64()
+	d.baseline = math.Float64frombits(r.u64())
+	flags := r.take(1)
+	if r.err == nil {
+		d.wantRestab = flags[0]&flagWantRestab != 0
+	}
+	d.k = int(int32(r.u32()))
+	nShards := int(r.u32())
+	if r.err == nil && (nShards < 1 || nShards > 1<<20) {
+		return nil, fmt.Errorf("delta checkpoint declares %d shards", nShards)
+	}
+	if r.err == nil {
+		d.bounds = make([]int, nShards+1)
+		for i := range d.bounds {
+			d.bounds[i] = int(r.u64())
+		}
+	}
+	d.n = int(r.u32())
+	if r.err == nil && (d.n < 0 || d.n > graph.MaxVertices) {
+		return nil, fmt.Errorf("delta checkpoint declares %d labels", d.n)
+	}
+	d.runs = readRuns(r)
+	d.cross = int64(r.u64())
+	d.total = int64(r.u64())
+	nAffected := int(r.u32())
+	if r.err == nil && (nAffected < 0 || nAffected > d.n) {
+		return nil, fmt.Errorf("delta checkpoint declares %d affected vertices for %d labels", nAffected, d.n)
+	}
+	if r.err == nil && nAffected > 0 {
+		if raw := r.take(4 * nAffected); r.err == nil {
+			d.affected = make([]graph.VertexID, nAffected)
+			for i := range d.affected {
+				d.affected[i] = graph.VertexID(binary.LittleEndian.Uint32(raw[4*i:]))
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("delta checkpoint has %d trailing bytes", len(r.b))
+	}
+	return d, nil
+}
+
+// applyCkptDelta overlays one decoded chain link onto the composing
+// state. The caller has structurally replayed the journal up to the
+// link's sequence, so the graph's vertex count must already match the
+// link's — a mismatch means the chain and journal disagree, which is
+// corruption, not a recoverable tear.
+func applyCkptDelta(st *ckptState, link wal.DeltaLink) error {
+	d, err := decodeDeltaCheckpoint(link.Payload)
+	if err != nil {
+		return fmt.Errorf("delta checkpoint %d: %w", link.Seq, err)
+	}
+	if d.seq != link.Seq {
+		return fmt.Errorf("delta checkpoint file %d declares inner seq %d", link.Seq, d.seq)
+	}
+	if d.n != st.w.NumVertices() {
+		return fmt.Errorf("delta checkpoint %d covers %d vertices, journal replay produced %d",
+			link.Seq, d.n, st.w.NumVertices())
+	}
+	labels := st.labels
+	if d.n > len(labels) {
+		grown := make([]int32, d.n)
+		copy(grown, labels)
+		labels = grown
+	} else if d.n < len(labels) {
+		return fmt.Errorf("delta checkpoint %d shrinks %d labels to %d", link.Seq, len(labels), d.n)
+	}
+	for _, r := range d.runs {
+		if r.Start < 0 || r.Start+len(r.Labels) > len(labels) {
+			return fmt.Errorf("delta checkpoint %d run [%d,%d) outside %d labels",
+				link.Seq, r.Start, r.Start+len(r.Labels), len(labels))
+		}
+		copy(labels[r.Start:], r.Labels)
+	}
+	st.labels = labels
+	st.seq = d.seq
+	st.applied = d.applied
+	st.appliedAtRestab = d.appliedAtRestab
+	st.lastReconcile = d.lastReconcile
+	st.gen, st.epoch = d.gen, d.epoch
+	st.baseline = d.baseline
+	st.wantRestab = d.wantRestab
+	st.k = d.k
+	st.bounds = d.bounds
+	st.cross, st.total = d.cross, d.total
+	st.affected = d.affected
+	return nil
+}
+
+// applyStructural replays one journal record's effect on the graph
+// TOPOLOGY only, mirroring the live apply paths bit-for-bit: labels, k,
+// bounds and counters come from the chain-link overlays, so resizes are
+// no-ops here and label seeding is skipped. Fast-path-eligible batches
+// (the same graph-independent test the live coordinator ran, so
+// eligibility replays identically) insert arcs exactly as the shard scan
+// does — per edge: clamp non-positive weight to 1, normalize u<v, row u
+// then row v, one AdjustTotals fold; each row receives its arcs in
+// submission order live (single owner shard, FIFO), so the rebuilt
+// adjacency is byte-identical. Barrier-path batches go through
+// Mutation.Apply, the same validate-then-apply the live barrier ran —
+// a batch rejected live re-rejects identically, leaving the graph
+// untouched.
+func applyStructural(st *ckptState, rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecordResize:
+		return nil
+	case wal.RecordMutation:
+		m := rec.Mut
+		fast := m.NewVertices == 0 && len(m.RemovedEdges) == 0
+		if fast {
+			n := graph.VertexID(st.w.NumVertices())
+			for _, e := range m.NewEdges {
+				if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+					fast = false
+					break
+				}
+			}
+		}
+		if fast {
+			for _, e := range m.NewEdges {
+				u, v, wgt := e.U, e.V, e.Weight
+				if wgt <= 0 {
+					wgt = 1
+				}
+				if u > v {
+					u, v = v, u
+				}
+				st.w.InsertArc(u, v, wgt)
+				st.w.InsertArc(v, u, wgt)
+				st.w.AdjustTotals(1, int64(wgt))
+			}
+			return nil
+		}
+		// Rejected batches rejected live too, with the graph untouched;
+		// the error stays observable via Err after the live replay phase
+		// re-runs any post-tip records.
+		_, _ = m.Apply(st.w)
+		return nil
+	default:
+		return fmt.Errorf("replaying unknown record type %d", rec.Type)
+	}
+}
+
 // newStoreFromCheckpoint rebuilds the coordinator state a checkpoint
 // captured. The stored shard ranges are restored when cfg asks for the
 // same shard count (the bit-identical recovery contract); a different
@@ -758,6 +1107,7 @@ func newStoreFromCheckpoint(st *ckptState, cfg Config) (*Store, error) {
 	}
 	s := &Store{
 		cfg:             cfg,
+		deltas:          newDeltaHub(cfg.DeltaRing),
 		log:             make(chan logEntry, cfg.LogDepth),
 		batchDone:       make(chan struct{}, 1),
 		closed:          make(chan struct{}),
@@ -811,5 +1161,9 @@ func newStoreFromCheckpoint(st *ckptState, cfg Config) (*Store, error) {
 			cross, total, st.cross, st.total)
 	}
 	s.publishRouter()
+	// Delta sequences are per-process: the recovered store starts its
+	// change feed with a fresh baseline, and watch consumers holding
+	// sequences from the previous incarnation are told to resync.
+	s.emitBaselineDelta()
 	return s, nil
 }

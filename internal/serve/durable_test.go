@@ -203,7 +203,12 @@ func TestDurableRecoveryCrashDuringCheckpoint(t *testing.T) {
 
 			dir := t.TempDir()
 			w2, labels2 := twoClusters(50)
-			st, err := NewDurable(dir, w2, append([]int32(nil), labels2...), durableCfg(shards, 3))
+			// This test is about the FULL-checkpoint fallback: disable the
+			// incremental chain so every periodic checkpoint is a full file
+			// recovery can fall back between.
+			cfg := durableCfg(shards, 3)
+			cfg.Durability.MaxDeltaChain = -1
+			st, err := NewDurable(dir, w2, append([]int32(nil), labels2...), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -231,7 +236,7 @@ func TestDurableRecoveryCrashDuringCheckpoint(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			rec, err := Open(dir, durableCfg(shards, 3))
+			rec, err := Open(dir, cfg)
 			if err != nil {
 				t.Fatalf("recovery must fall back past the lost checkpoint: %v", err)
 			}

@@ -114,6 +114,10 @@ type Config struct {
 	// disables (the incremental integer deltas are exact, so this is a
 	// safety net and a rebalance point, not a correctness requirement).
 	ReconcileEvery int
+	// DeltaRing bounds the change-feed publication ring (delta.go): how
+	// many Delta records stay retrievable for watch consumers before the
+	// compaction floor rises past them. Default 1024.
+	DeltaRing int
 	// Durability tunes the journal + checkpoint subsystem. Only the
 	// durable constructors (NewDurable, BootstrapDurable, Open) read it;
 	// New and Bootstrap build in-memory stores regardless.
@@ -164,6 +168,12 @@ func (c *Config) normalize() error {
 	}
 	if c.ReconcileEvery == 0 {
 		c.ReconcileEvery = 512
+	}
+	if c.DeltaRing == 0 {
+		c.DeltaRing = 1024
+	}
+	if c.DeltaRing < 1 {
+		return fmt.Errorf("serve: DeltaRing=%d", c.DeltaRing)
 	}
 	if err := c.Quota.normalize(); err != nil {
 		return err
@@ -249,6 +259,7 @@ type Store struct {
 	cfg    Config
 	ctr    metrics.ServeCounters
 	router atomic.Pointer[routeTable]
+	deltas *deltaHub // change-feed ring; internally synchronized
 
 	submitted atomic.Int64 // batches submitted (staleness numerator)
 	applied   atomic.Int64 // batches resolved (applied or rejected)
@@ -352,6 +363,7 @@ func newStore(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 	}
 	s := &Store{
 		cfg:        cfg,
+		deltas:     newDeltaHub(cfg.DeltaRing),
 		log:        make(chan logEntry, cfg.LogDepth),
 		batchDone:  make(chan struct{}, 1),
 		closed:     make(chan struct{}),
@@ -385,6 +397,7 @@ func newStore(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 	}
 	s.publishRouter()
 	s.baseline = s.ownedCut()
+	s.emitBaselineDelta()
 	return s, nil
 }
 
@@ -792,6 +805,7 @@ func (s *Store) finishBatch(tr *batchTracker) {
 	s.ctr.BatchesApplied.Add(tr.batches)
 	s.ctr.EdgesAdded.Add(tr.edges)
 	s.applied.Add(tr.batches)
+	s.emitCounterDelta()
 	select {
 	case s.batchDone <- struct{}{}:
 	default:
@@ -1073,6 +1087,12 @@ func (s *Store) applyGlobalBatch(m *graph.Mutation, ten *tenantState) {
 		if ten != nil {
 			ten.committed.Add(1)
 		}
+		// The appended tail is the only label change a barrier apply makes;
+		// existing labels are untouched, so the delta's runs are exact.
+		var runs []LabelRun
+		if grew {
+			runs = []LabelRun{{Start: oldN, Labels: append([]int32(nil), s.labels[oldN:]...)}}
+		}
 
 		if editErr != nil {
 			// Valid batch whose removal weights were unpredictable:
@@ -1081,6 +1101,7 @@ func (s *Store) applyGlobalBatch(m *graph.Mutation, ten *tenantState) {
 			if grew {
 				s.publishRouter()
 			}
+			s.emitBarrierDelta(runs, grew)
 			return
 		}
 		touched := make([]bool, len(s.shards))
@@ -1110,6 +1131,7 @@ func (s *Store) applyGlobalBatch(m *graph.Mutation, ten *tenantState) {
 		if grew {
 			s.publishRouter()
 		}
+		s.emitBarrierDelta(runs, grew)
 	})
 }
 
@@ -1135,6 +1157,7 @@ func (s *Store) resize(newK int) {
 				moved++
 			}
 		}
+		runs := labelDiffRuns(s.labels, relabeled)
 		s.labels = relabeled
 		s.k = newK
 		s.gen++
@@ -1142,6 +1165,7 @@ func (s *Store) resize(newK int) {
 		s.ctr.ElasticResizes.Add(1)
 		s.ctr.ElasticSeedMoved.Add(int64(moved))
 		s.recomputeShardCuts()
+		s.emitBarrierDelta(runs, false)
 	})
 }
 
@@ -1264,9 +1288,11 @@ func (s *Store) mergeMidrun(note midrunNote) {
 		merged := make([]int32, len(s.labels))
 		copy(merged, note.labels[:note.base])
 		copy(merged[note.base:], s.labels[note.base:])
+		runs := labelDiffRuns(s.labels, merged)
 		s.labels = merged
 		s.ctr.MidRunSnapshots.Add(1)
 		s.recomputeShardCuts()
+		s.emitBarrierDelta(runs, false)
 	})
 }
 
@@ -1293,11 +1319,13 @@ func (s *Store) merge(res restabResult) {
 		verts, weight := cluster.MigrationVolume(s.w, s.labels, merged)
 		s.ctr.MigratedVertices.Add(verts)
 		s.ctr.MigratedWeight.Add(weight)
+		runs := labelDiffRuns(s.labels, merged)
 		s.labels = merged
 		s.epoch++
 		s.ctr.Restabilizations.Add(1)
 		s.recomputeShardCuts()
 		s.baseline = s.ownedCut()
+		s.emitBarrierDelta(runs, false)
 	})
 }
 
@@ -1387,6 +1415,7 @@ func (s *Store) reconcile(rebalance bool) {
 		s.ctr.CutReconciles.Add(1)
 		if rebalanced {
 			s.publishRouter()
+			s.emitBarrierDelta(nil, true)
 		}
 	})
 	if rebalance {

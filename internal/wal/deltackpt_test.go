@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDeltaCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDeltaCheckpoint(dir, 12, 8, []byte("delta payload")); err != nil {
+		t.Fatal(err)
+	}
+	prev, payload, err := ReadDeltaCheckpoint(dir, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != 8 || string(payload) != "delta payload" {
+		t.Fatalf("read prev=%d payload=%q", prev, payload)
+	}
+	seqs, err := DeltaCheckpoints(dir)
+	if err != nil || len(seqs) != 1 || seqs[0] != 12 {
+		t.Fatalf("DeltaCheckpoints = %v, %v", seqs, err)
+	}
+	// An empty payload is legal (a quiet interval still advances the tip).
+	if err := WriteDeltaCheckpoint(dir, 20, 12, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, payload, err := ReadDeltaCheckpoint(dir, 20); err != nil || len(payload) != 0 {
+		t.Fatalf("empty delta = %q, %v", payload, err)
+	}
+}
+
+func TestDeltaCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDeltaCheckpoint(dir, 5, 2, []byte("payload bytes here")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, dckpName(5))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(mutate func([]byte)) error {
+		cp := append([]byte(nil), data...)
+		mutate(cp)
+		if err := os.WriteFile(path, cp, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := ReadDeltaCheckpoint(dir, 5)
+		return err
+	}
+	if err := flip(func(b []byte) { b[0] ^= 0xff }); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := flip(func(b []byte) { b[4] ^= 0x01 }); err == nil {
+		t.Fatal("mismatched seq accepted")
+	}
+	if err := flip(func(b []byte) { b[len(b)-1] ^= 0x01 }); err == nil {
+		t.Fatal("payload corruption passed CRC")
+	}
+	if err := os.WriteFile(path, data[:dckpHdr-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadDeltaCheckpoint(dir, 5); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestLatestChainWalksAndStopsAtBrokenLink(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 10, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	for _, link := range []struct{ seq, prev uint64 }{{14, 10}, {19, 14}, {25, 19}} {
+		if err := WriteDeltaCheckpoint(dir, link.seq, link.prev, []byte{byte(link.seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray delta that chains from nothing present must be ignored.
+	if err := WriteDeltaCheckpoint(dir, 30, 27, []byte("orphan")); err != nil {
+		t.Fatal(err)
+	}
+
+	baseSeq, base, chain, err := LatestChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseSeq != 10 || string(base) != "base" {
+		t.Fatalf("base %d %q", baseSeq, base)
+	}
+	if len(chain) != 3 || chain[0].Seq != 14 || chain[1].Seq != 19 || chain[2].Seq != 25 {
+		t.Fatalf("chain %+v", chain)
+	}
+
+	// Corrupt the middle link: the chain must end at the last good link,
+	// not error out.
+	if err := os.WriteFile(filepath.Join(dir, dckpName(19)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, chain, err = LatestChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].Seq != 14 {
+		t.Fatalf("chain after mid-link corruption = %+v, want just seq 14", chain)
+	}
+}
+
+// A rebase onto a newer full checkpoint supersedes the old chain: links
+// at or below the new base prune away, and the walk starts fresh.
+func TestPruneDeltaCheckpointsBelow(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 10, []byte("old base")); err != nil {
+		t.Fatal(err)
+	}
+	for _, link := range []struct{ seq, prev uint64 }{{14, 10}, {19, 14}} {
+		if err := WriteDeltaCheckpoint(dir, link.seq, link.prev, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteCheckpoint(dir, 19, []byte("new base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := PruneDeltaCheckpointsBelow(dir, 19); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := DeltaCheckpoints(dir)
+	if err != nil || len(seqs) != 0 {
+		t.Fatalf("after prune: %v, %v", seqs, err)
+	}
+	baseSeq, base, chain, err := LatestChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseSeq != 19 || string(base) != "new base" || len(chain) != 0 {
+		t.Fatalf("after rebase: base %d %q chain %+v", baseSeq, base, chain)
+	}
+}
