@@ -31,6 +31,11 @@
 #                      large base: incremental chain vs full re-encode —
 #                      bytes_per_op in the JSON is the installed payload
 #                      size), into BENCH_pr8.json
+#   make bench-metrics— same gate but the observability-plane pair:
+#                      BenchmarkHistogramRecord (the lock-free log-linear
+#                      histogram's record path) and
+#                      BenchmarkServeLookupInstrumented (sampled-vs-off
+#                      lookup timing overhead), both into BENCH_pr9.json
 #   make bench-quick — CI benchmark smoke: every recorded benchmark runs
 #                      once (-benchtime=1x -count=1, no JSON write), so
 #                      compile/run breakage is caught without timing runs
@@ -53,6 +58,12 @@
 #                      chain links land on disk, kill -9 mid-chain and
 #                      recovery from base + delta chain
 #                      (scripts/changefeed_smoke.sh; also a CI job)
+#   make metrics-smoke — scrape /v1/metrics under churn: Prometheus text
+#                      parseability, no duplicate series, monotonic
+#                      counters across scrapes, stage/HTTP histograms
+#                      populated, /stats latency section, pprof side
+#                      listener, spinnerctl metrics
+#                      (scripts/metrics_smoke.sh; also a CI job)
 #
 # The serving layer (internal/serve) is a sharded store: N shards each own
 # a contiguous vertex range with incremental O(batch) cut tracking, exact-
@@ -69,12 +80,17 @@
 # The serving HTTP surface lives in internal/api (versioned /v1 routes +
 # legacy aliases, typed Go client under internal/api/client, /v1/watch
 # change feed); cmd/spinnerctl is the CLI companion built on the client.
+# Observability (internal/metrics) is a dependency-free metrics plane:
+# lock-free log-linear latency histograms and gauges in a registry,
+# pipeline-stage timing seams in serve/wal, sampled lookup timing, and a
+# hand-rolled Prometheus text exposition on GET /v1/metrics (plus a
+# -pprof-addr side listener on spinnerd).
 # CI (.github/workflows/ci.yml) runs lint + check + bench-quick + the
-# recovery, overload, replication, and changefeed smokes on the Go
-# version pinned in go.mod, and uploads BENCH_pr4.json through
-# BENCH_pr8.json as workflow artifacts.
+# recovery, overload, replication, changefeed, and metrics smokes on the
+# Go version pinned in go.mod, and uploads BENCH_pr4.json through
+# BENCH_pr9.json as workflow artifacts.
 
-.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-replica bench-delta bench-quick recovery-smoke overload-smoke replication-smoke changefeed-smoke
+.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-replica bench-delta bench-metrics bench-quick recovery-smoke overload-smoke replication-smoke changefeed-smoke metrics-smoke
 
 all: check
 
@@ -98,7 +114,7 @@ test:
 	go test ./...
 
 test-race:
-	go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/ ./internal/replica/
+	go test -race ./internal/pregel/ ./internal/serve/ ./internal/wal/ ./internal/replica/ ./internal/metrics/ ./internal/api/
 
 bench:
 	./scripts/bench.sh -l current -o BENCH_pr1.json
@@ -121,11 +137,16 @@ bench-replica:
 bench-delta:
 	./scripts/bench.sh -l current -b BenchmarkCheckpointDelta -p ./internal/serve -o BENCH_pr8.json
 
+bench-metrics:
+	./scripts/bench.sh -l histogram -b BenchmarkHistogramRecord -p ./internal/metrics -o BENCH_pr9.json
+	./scripts/bench.sh -l lookup-overhead -b BenchmarkServeLookupInstrumented -p ./internal/serve -o BENCH_pr9.json
+
 bench-quick:
 	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .
-	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable|Fairness)' -p ./internal/serve
+	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable|Fairness|LookupInstrumented)' -p ./internal/serve
 	./scripts/bench.sh -q -b BenchmarkCheckpointDelta -p ./internal/serve
 	./scripts/bench.sh -q -b BenchmarkFollowerLookupStaleness -p ./internal/replica
+	./scripts/bench.sh -q -b BenchmarkHistogramRecord -p ./internal/metrics
 
 recovery-smoke:
 	./scripts/recovery_smoke.sh
@@ -138,3 +159,6 @@ replication-smoke:
 
 changefeed-smoke:
 	./scripts/changefeed_smoke.sh
+
+metrics-smoke:
+	./scripts/metrics_smoke.sh

@@ -18,6 +18,12 @@
 //	                    "- u v", "v n")
 //	resize <k>          elastic-resize to k partitions
 //	stats               print the full stats snapshot as JSON
+//	  -watch              refresh continuously instead of printing once
+//	  -interval D         refresh period with -watch (default 1s)
+//	metrics             fetch /v1/metrics and pretty-print the spinner_*
+//	                    families: counters and gauges with their values,
+//	                    histograms with count/p50/p90/p99 per label set
+//	  -raw                dump the raw Prometheus exposition instead
 //	promote             fail a follower over to leader
 package main
 
@@ -30,8 +36,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/api/client"
 )
@@ -52,7 +61,7 @@ func main() {
 
 func dispatch(ctx context.Context, cli *client.Client, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: spinnerctl [-addr URL] <health|lookup|labels|feed-labels|watch|mutate|resize|stats|promote>")
+		return errors.New("usage: spinnerctl [-addr URL] <health|lookup|labels|feed-labels|watch|mutate|resize|stats|metrics|promote>")
 	}
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "health":
@@ -124,13 +133,20 @@ func dispatch(ctx context.Context, cli *client.Client, args []string, out io.Wri
 		fmt.Fprintf(out, "queued: resize to k=%d\n", r.K)
 		return nil
 	case "stats":
-		st, err := cli.Stats(ctx)
-		if err != nil {
+		fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+		watch := fs.Bool("watch", false, "refresh continuously until interrupted")
+		interval := fs.Duration("interval", time.Second, "refresh period with -watch")
+		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(st)
+		return stats(ctx, cli, *watch, *interval, out)
+	case "metrics":
+		fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+		raw := fs.Bool("raw", false, "dump the raw Prometheus exposition")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		return printMetrics(ctx, cli, *raw, out)
 	case "promote":
 		p, err := cli.Promote(ctx)
 		if err != nil {
@@ -141,6 +157,120 @@ func dispatch(ctx context.Context, cli *client.Client, args []string, out io.Wri
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// stats prints one stats snapshot, or with watch set keeps reprinting
+// every interval until the context is cancelled (Ctrl-C exits cleanly).
+func stats(ctx context.Context, cli *client.Client, watch bool, interval time.Duration, out io.Writer) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		st, err := cli.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			return err
+		}
+		if !watch {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// printMetrics renders the /v1/metrics exposition for humans: one line
+// per counter/gauge sample, and per histogram label set the observation
+// count with interpolated p50/p90/p99 from the cumulative buckets.
+func printMetrics(ctx context.Context, cli *client.Client, raw bool, out io.Writer) error {
+	text, err := cli.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	if raw {
+		_, err := io.WriteString(out, text)
+		return err
+	}
+	fams, err := client.ParseProm(text)
+	if err != nil {
+		return err
+	}
+	for _, f := range fams {
+		if !strings.HasPrefix(f.Name, "spinner_") {
+			continue
+		}
+		fmt.Fprintf(out, "%s (%s)\n", f.Name, f.Type)
+		if f.Type == "histogram" {
+			for _, labels := range histLabelSets(f) {
+				count := histCount(f, labels)
+				p50, _ := client.HistQuantile(f, labels, 0.50)
+				p90, _ := client.HistQuantile(f, labels, 0.90)
+				p99, _ := client.HistQuantile(f, labels, 0.99)
+				fmt.Fprintf(out, "  %scount=%.0f p50=%.6g p90=%.6g p99=%.6g\n",
+					formatLabels(labels), count, p50, p90, p99)
+			}
+			continue
+		}
+		for _, s := range f.Samples {
+			fmt.Fprintf(out, "  %s%g\n", formatLabels(s.Labels), s.Value)
+		}
+	}
+	return nil
+}
+
+// histLabelSets extracts the distinct label sets (minus "le") of a
+// histogram family's series, in first-seen order.
+func histLabelSets(f *client.Family) []map[string]string {
+	var sets []map[string]string
+	seen := map[string]bool{}
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_count" {
+			continue
+		}
+		key := formatLabels(s.Labels)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sets = append(sets, s.Labels)
+	}
+	return sets
+}
+
+func histCount(f *client.Family, labels map[string]string) float64 {
+	for _, s := range f.Samples {
+		if s.Name == f.Name+"_count" && formatLabels(s.Labels) == formatLabels(labels) {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// formatLabels renders a label set as a stable "k=v,... " prefix (empty
+// for unlabeled series).
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return "{" + strings.Join(parts, ",") + "} "
 }
 
 func printLabels(out io.Writer, labels []int32) {

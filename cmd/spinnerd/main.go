@@ -204,9 +204,59 @@
 //	POST /v1/promote       → 200 {"promoted":true,"epoch":E,"sealed_seq":S}
 //	                         (idempotent) | 409 {"code":"not_follower"} on a node
 //	                         not running with -follow
+//	GET  /v1/metrics       → 200 Prometheus text exposition (version 0.0.4,
+//	                         Content-Type text/plain) of every metric below.
+//	                         New surface; no legacy alias.
 //
 // The typed Go client for this surface is internal/api/client; the
-// spinnerctl command wraps it for shell use.
+// spinnerctl command wraps it for shell use (spinnerctl metrics
+// pretty-prints the exposition; spinnerctl stats -watch polls /v1/stats).
+//
+// # Metrics reference
+//
+// GET /v1/metrics renders two planes into one exposition. The first is
+// the registry of histograms and gauges; observations are nanoseconds
+// internally, exposed in seconds with power-of-two bucket boundaries:
+//
+//	spinner_http_request_duration_seconds  histogram {route,status}
+//	    request latency per route (healthz, lookup, mutate, resize,
+//	    stats, replicate, replicate_checkpoint, promote, watch, metrics)
+//	    and status class (2xx, 4xx, ...). Streaming routes (watch,
+//	    replicate) record time-to-first-byte — the handshake — since
+//	    their total duration is the subscription lifetime.
+//	spinner_lookup_duration_seconds        histogram
+//	    sampled store-lookup latency (one in -lookup-sample-every).
+//	spinner_stage_duration_seconds         histogram {stage}
+//	    per-turn commit-pipeline stage timing: drain (log drain + group
+//	    formation), journal (wal group append incl. fsync wait), apply
+//	    (shard broadcast/barrier application), publish (full shard
+//	    republication after relabeling), checkpoint_capture (the
+//	    under-barrier state clone), checkpoint_write (background encode
+//	    + install).
+//	spinner_replica_lag_records            gauge (follower only)
+//	    leader seq − applied seq at scrape time.
+//	spinner_replica_staleness_seconds      gauge (follower only)
+//	    wall-clock time since last caught-up observation — the same
+//	    quantity /v1/stats reports as staleness_ms.
+//	spinner_replica_apply_lag_records      histogram (follower only)
+//	    apply lag observed at each applied record (raw record counts).
+//
+// The second plane is every counter /v1/stats carries under "counters",
+// one series per field, CamelCase mapped to snake_case with the
+// Prometheus _total suffix on monotonic counters — e.g. Lookups →
+// spinner_lookups_total, GroupCommits → spinner_group_commits_total,
+// ReplicaRecordsApplied → spinner_replica_records_applied_total. The two
+// non-monotonic fields are gauges: spinner_checkpoints_pending (1 while
+// a background checkpoint is in flight) and spinner_watch_streams
+// (currently open /v1/watch streams; the companion counter
+// spinner_watch_streams_total counts every accepted stream). The full
+// name table lives in internal/metrics (ServeMetrics), and
+// /v1/stats.latency carries headline p50/p90/p99/max per histogram for
+// humans who want quantiles without a scraper.
+//
+// With -pprof-addr the daemon additionally serves net/http/pprof
+// (/debug/pprof/...) on a separate side listener, keeping profiling off
+// the serving address entirely.
 //
 // With -demo D the daemon skips the listener, drives synthetic churn
 // against the store for duration D while hammering lookups, prints the
@@ -221,6 +271,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -274,6 +325,9 @@ type daemonConfig struct {
 
 	follow       string
 	maxStaleness time.Duration
+
+	pprofAddr         string
+	lookupSampleEvery int
 }
 
 func main() {
@@ -307,6 +361,8 @@ func main() {
 	flag.DurationVar(&dc.degradeWindow, "degrade-window", 100*time.Millisecond, "EWMA window for the overload detector")
 	flag.StringVar(&dc.follow, "follow", "", "run as a read replica of this leader address (requires -data-dir)")
 	flag.DurationVar(&dc.maxStaleness, "max-staleness", 0, "follower lookups answer 503 stale_replica past this lag (0 = serve regardless)")
+	flag.StringVar(&dc.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
+	flag.IntVar(&dc.lookupSampleEvery, "lookup-sample-every", 0, "time one in N lookups into the latency histogram (0 = default 256, negative disables)")
 	flag.Parse()
 	if err := run(dc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spinnerd:", err)
@@ -328,9 +384,9 @@ func run(dc daemonConfig, out io.Writer) error {
 	}
 	cfg := serve.Config{
 		Options: opts, LogDepth: dc.logDepth, DegradeFactor: dc.degrade, Shards: shards,
-		DeltaRing: dc.deltaRing,
-		Quota:     serve.QuotaConfig{Rate: dc.quotaRate, Burst: dc.quotaBurst, TenantDepth: dc.quotaDepth, Weights: weights},
-		Overload:  serve.OverloadConfig{LookupRate: dc.degradeLookups, Staleness: dc.degradeStaleness, Window: dc.degradeWindow},
+		DeltaRing: dc.deltaRing, LookupSampleEvery: dc.lookupSampleEvery,
+		Quota:    serve.QuotaConfig{Rate: dc.quotaRate, Burst: dc.quotaBurst, TenantDepth: dc.quotaDepth, Weights: weights},
+		Overload: serve.OverloadConfig{LookupRate: dc.degradeLookups, Staleness: dc.degradeStaleness, Window: dc.degradeWindow},
 	}
 	newDurability := func(pol wal.Policy) serve.DurabilityConfig {
 		return serve.DurabilityConfig{
@@ -444,6 +500,23 @@ func run(dc daemonConfig, out io.Writer) error {
 
 	if dc.demo > 0 {
 		return runDemo(st, dc.demo, dc.seed, out)
+	}
+	if dc.pprofAddr != "" {
+		// Profiling lives on its own listener with an explicit mux, so
+		// the serving address never exposes /debug/pprof and the side
+		// listener exposes nothing else.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(out, "spinnerd: pprof on %s\n", dc.pprofAddr)
+		go func() {
+			if err := http.ListenAndServe(dc.pprofAddr, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "spinnerd: pprof listener:", err)
+			}
+		}()
 	}
 	fmt.Fprintf(out, "spinnerd: listening on %s\n", dc.addr)
 	srv := &http.Server{Addr: dc.addr, Handler: api.NewServer(st, rep).Mux()}

@@ -70,22 +70,28 @@ func NewServer(st *serve.Store, rep *Replica) *Server {
 // unversioned aliases the pre-/v1 daemon exposed (same handlers, same
 // shapes — existing scripts and followers keep working). /v1/watch is
 // new surface and has no legacy alias.
+// Every route is wrapped by the latency middleware (middleware.go);
+// /v1/watch and the replication stream record time-to-first-byte.
+// /v1/metrics and /v1/watch are new surface and have no legacy alias.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	route := func(pattern string, h http.HandlerFunc) {
+	route := func(pattern, name string, h http.HandlerFunc) {
 		method, path, _ := strings.Cut(pattern, " ")
-		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(pattern, h)
+		wrapped := s.instrument(name, false, h)
+		mux.HandleFunc(method+" /v1"+path, wrapped)
+		mux.HandleFunc(pattern, wrapped)
 	}
-	route("GET /healthz", s.handleHealthz)
-	route("GET /lookup", s.handleLookup)
-	route("POST /mutate", s.handleMutate)
-	route("POST /resize", s.handleResize)
-	route("GET /stats", s.handleStats)
-	route("GET /replicate", s.handleReplicate)
-	route("GET /replicate/checkpoint", s.handleReplicateCheckpoint)
-	route("POST /promote", s.handlePromote)
-	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /lookup", "lookup", s.handleLookup)
+	route("POST /mutate", "mutate", s.handleMutate)
+	route("POST /resize", "resize", s.handleResize)
+	route("GET /stats", "stats", s.handleStats)
+	mux.HandleFunc("GET /v1/replicate", s.instrument("replicate", true, s.handleReplicate))
+	mux.HandleFunc("GET /replicate", s.instrument("replicate", true, s.handleReplicate))
+	route("GET /replicate/checkpoint", "replicate_checkpoint", s.handleReplicateCheckpoint)
+	route("POST /promote", "promote", s.handlePromote)
+	mux.HandleFunc("GET /v1/watch", s.instrument("watch", true, s.handleWatch))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", false, s.handleMetrics))
 	return mux
 }
 
@@ -284,9 +290,15 @@ type StatsResponse struct {
 	// /v1/watch; older ones have been compacted away.
 	DeltaFloor uint64 `json:"delta_floor"`
 	DeltaNext  uint64 `json:"delta_next"`
-	Role       string `json:"role"`
-	AppliedSeq uint64 `json:"applied_seq"`
-	LeaderSeq  uint64 `json:"leader_seq"`
+	// Latency summarizes every non-empty histogram in the metric
+	// registry (p50/p90/p99/max in seconds for duration series, raw
+	// units otherwise); keys are compacted series names like "lookup",
+	// "stage:apply" or "http_request:lookup:2xx". The full-resolution
+	// data is the /v1/metrics exposition.
+	Latency    map[string]LatencySummary `json:"latency,omitempty"`
+	Role       string                    `json:"role"`
+	AppliedSeq uint64                    `json:"applied_seq"`
+	LeaderSeq  uint64                    `json:"leader_seq"`
 	// Follower-only fields.
 	StalenessMS      *int64  `json:"staleness_ms,omitempty"`
 	ReplicationError string  `json:"replication_error,omitempty"`
@@ -319,6 +331,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tenants:           s.st.Tenants(),
 		DeltaFloor:        floor,
 		DeltaNext:         next,
+		Latency:           latencySection(s.st.Metrics()),
 		Role:              s.rep.Role(),
 		AppliedSeq:        s.st.JournalSeq(),
 		LeaderSeq:         s.st.JournalSeq(),

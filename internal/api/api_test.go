@@ -601,7 +601,8 @@ func TestHTTPStatsDurabilityFields(t *testing.T) {
 		t.Fatalf("counters missing: %v", stats)
 	}
 	for _, field := range []string{"JournalAppends", "JournalBytes", "JournalSyncs", "Checkpoints",
-		"ReplayedRecords", "IncrCheckpointBytes", "CheckpointRebases", "DeltasPublished", "WatchStreams"} {
+		"ReplayedRecords", "IncrCheckpointBytes", "CheckpointRebases", "DeltasPublished", "WatchStreams",
+		"WatchStreamsTotal"} {
 		if _, ok := ctr[field]; !ok {
 			t.Fatalf("counters missing %s: %v", field, ctr)
 		}
@@ -828,18 +829,31 @@ func TestWatchGoneAndResync(t *testing.T) {
 	}
 }
 
-// WatchStreams must count accepted streams.
+// WatchStreamsTotal must count accepted streams; WatchStreams is a gauge
+// of open streams and must return to its prior value once the stream
+// closes.
 func TestWatchStreamCounter(t *testing.T) {
 	st := testStore(t, 4)
 	srv := testServer(t, st)
 	if err := st.Quiesce(); err != nil {
 		t.Fatal(err)
 	}
-	before := st.Counters().WatchStreams.Load()
+	open := st.Counters().WatchStreams.Load()
+	total := st.Counters().WatchStreamsTotal.Load()
 	_, next := st.DeltaBounds()
 	readWatch(t, srv.URL+"/v1/watch?from_seq=0&limit="+strconv.FormatUint(next-1, 10))
-	if got := st.Counters().WatchStreams.Load(); got != before+1 {
-		t.Fatalf("WatchStreams %d -> %d, want +1", before, got)
+	if got := st.Counters().WatchStreamsTotal.Load(); got != total+1 {
+		t.Fatalf("WatchStreamsTotal %d -> %d, want +1", total, got)
+	}
+	// The handler decrements the gauge on return, which races the body
+	// read completing client-side; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Counters().WatchStreams.Load() != open {
+		if time.Now().After(deadline) {
+			t.Fatalf("WatchStreams gauge stuck at %d, want %d after close",
+				st.Counters().WatchStreams.Load(), open)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestClientMetricsText(t *testing.T) {
+	cli, st := testClient(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := cli.Lookup(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Mutate(ctx, "+ 0 599 3\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	text, err := cli.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["spinner_lookups_total"]; f == nil || f.Type != "counter" ||
+		len(f.Samples) != 1 || f.Samples[0].Value < 1 {
+		t.Fatalf("spinner_lookups_total family: %+v", f)
+	}
+	hist := byName["spinner_http_request_duration_seconds"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("http histogram family missing: %+v", hist)
+	}
+	q, ok := HistQuantile(hist, map[string]string{"route": "lookup", "status": "2xx"}, 0.99)
+	if !ok || q <= 0 || math.IsInf(q, 1) {
+		t.Fatalf("HistQuantile = %v, %v", q, ok)
+	}
+	if _, ok := HistQuantile(hist, map[string]string{"route": "nonexistent", "status": "2xx"}, 0.5); ok {
+		t.Fatal("quantile for unmatched labels should report no data")
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP spinner_x_total things",
+		"# TYPE spinner_x_total counter",
+		"spinner_x_total 41",
+		"# TYPE spinner_h_seconds histogram",
+		`spinner_h_seconds_bucket{stage="a\"b",le="0.5"} 3`,
+		`spinner_h_seconds_bucket{stage="a\"b",le="+Inf"} 4`,
+		`spinner_h_seconds_sum{stage="a\"b"} 1.25`,
+		`spinner_h_seconds_count{stage="a\"b"} 4`,
+		"",
+	}, "\n")
+	fams, err := ParseProm(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2", len(fams))
+	}
+	if fams[0].Name != "spinner_x_total" || fams[0].Type != "counter" ||
+		fams[0].Help != "things" || fams[0].Samples[0].Value != 41 {
+		t.Fatalf("counter family: %+v", fams[0])
+	}
+	h := fams[1]
+	if h.Name != "spinner_h_seconds" || len(h.Samples) != 4 {
+		t.Fatalf("histogram family: %+v", h)
+	}
+	if h.Samples[0].Labels["stage"] != `a"b` || h.Samples[0].Labels["le"] != "0.5" {
+		t.Fatalf("escaped labels: %+v", h.Samples[0].Labels)
+	}
+	q, ok := HistQuantile(h, map[string]string{"stage": `a"b`}, 0.5)
+	if !ok || q <= 0 || q > 0.5 {
+		t.Fatalf("interpolated quantile = %v, %v", q, ok)
+	}
+	if _, err := ParseProm("spinner_bad{x=} 1"); err == nil {
+		t.Fatal("malformed labels did not error")
+	}
+	if _, err := ParseProm("spinner_bad 1 2 3 nope"); err == nil {
+		t.Fatal("malformed value did not error")
+	}
+}

@@ -1,0 +1,111 @@
+// HTTP instrumentation: every route is wrapped so request latency lands
+// in spinner_http_request_duration_seconds{route,status} histograms in
+// the store's registry. Streaming routes (watch, replicate) record
+// time-to-first-byte — the handshake — since their total duration is the
+// subscription lifetime, not a latency.
+package api
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+var statusClasses = [...]string{"xxx", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeHist lazily creates one latency histogram per status class
+// actually observed on a route, so the exposition carries no empty 4xx/5xx
+// series for routes that never fail. The pointer cache makes the hot path
+// one atomic load; the racy fill is benign because registration is
+// get-or-create (both racers receive the same histogram).
+type routeHist struct {
+	reg       *metrics.Registry
+	route     string
+	streaming bool
+	classes   [len(statusClasses)]atomic.Pointer[metrics.Histogram]
+}
+
+func (rh *routeHist) observe(status int, d time.Duration) {
+	c := status / 100
+	if c < 1 || c >= len(statusClasses) {
+		c = 0
+	}
+	h := rh.classes[c].Load()
+	if h == nil {
+		h = rh.reg.NewHistogram(
+			"spinner_http_request_duration_seconds",
+			"HTTP request latency by route and status class; streaming routes (watch, replicate) record time-to-first-byte.",
+			metrics.UnitSeconds,
+			metrics.Label{Key: "route", Value: rh.route},
+			metrics.Label{Key: "status", Value: statusClasses[c]},
+		)
+		rh.classes[c].Store(h)
+	}
+	h.Record(d)
+}
+
+// statusWriter captures the response status and the first-byte time
+// without changing what the handler sees. It deliberately does NOT
+// implement http.Flusher — flushWriter adds that only when the underlying
+// writer supports it, so handlers that type-assert Flusher to refuse
+// non-streamable connections (handleWatch) keep their contract.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	first  time.Time // wall time of the first header/body write
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+		w.first = time.Now()
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+		w.first = time.Now()
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// flushWriter is a statusWriter over a flushable connection.
+type flushWriter struct{ *statusWriter }
+
+func (w *flushWriter) Flush() {
+	if w.status == 0 {
+		w.status = http.StatusOK
+		w.first = time.Now()
+	}
+	w.ResponseWriter.(http.Flusher).Flush()
+}
+
+// instrument wraps a handler so its latency is recorded per route and
+// status class. streaming selects time-to-first-byte over total duration.
+func (s *Server) instrument(route string, streaming bool, h http.HandlerFunc) http.HandlerFunc {
+	rh := &routeHist{reg: s.st.Metrics(), route: route, streaming: streaming}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var ww http.ResponseWriter = sw
+		if _, ok := w.(http.Flusher); ok {
+			ww = &flushWriter{sw}
+		}
+		h(ww, r)
+		status := sw.status
+		if status == 0 {
+			// Handler wrote nothing; net/http will send an implicit 200.
+			status = http.StatusOK
+			sw.first = time.Now()
+		}
+		if rh.streaming {
+			rh.observe(status, sw.first.Sub(start))
+		} else {
+			rh.observe(status, time.Since(start))
+		}
+	}
+}

@@ -64,7 +64,12 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	s.st.Counters().WatchStreams.Add(1)
+	// WatchStreams is a gauge of open streams; WatchStreamsTotal counts
+	// every accepted stream for rate math across scrapes.
+	ctr := s.st.Counters()
+	ctr.WatchStreams.Add(1)
+	ctr.WatchStreamsTotal.Add(1)
+	defer ctr.WatchStreams.Add(-1)
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Delta-Floor", strconv.FormatUint(floor, 10))

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4), hand-rolled — no dependency.
+// Metric names are the stable spinner_* contract documented in the
+// spinnerd command doc ("Metrics reference"); renaming one is an API
+// break. Histograms are rendered with one cumulative `le` bucket per
+// power-of-two octave (a stable boundary set across scrapes), plus _sum
+// and _count; the finer sub-bucket resolution backs the quantiles in
+// /stats and `spinnerctl metrics`.
+
+// promSecondsExps and promRawExps pick the exposed octave boundaries:
+// 2^7ns = 128ns up to 2^34ns ≈ 17.2s for durations, 1 up to 2^20 for raw
+// counts (replication lag in records). Observations past the last
+// boundary land in +Inf.
+var (
+	promSecondsExps = expRange(7, 34)
+	promRawExps     = expRange(0, 20)
+)
+
+func expRange(lo, hi int) []uint64 {
+	var out []uint64
+	for e := lo; e <= hi; e++ {
+		out = append(out, uint64(1)<<e)
+	}
+	return out
+}
+
+// AppendProm renders every registered series in Prometheus text format,
+// grouped into families (one # HELP/# TYPE per family, in first-
+// registration order).
+func (r *Registry) AppendProm(buf []byte) []byte {
+	var order []string
+	families := make(map[string][]*Series)
+	r.Each(func(s *Series) {
+		if _, ok := families[s.Name]; !ok {
+			order = append(order, s.Name)
+		}
+		families[s.Name] = append(families[s.Name], s)
+	})
+	for _, name := range order {
+		group := families[name]
+		buf = appendHeader(buf, name, group[0].Help, group[0].Kind)
+		for _, s := range group {
+			switch s.Kind {
+			case KindHistogram:
+				buf = appendHist(buf, s)
+			default:
+				buf = appendSeriesName(buf, s.Name, s.Labels)
+				if s.GaugeFn != nil {
+					buf = strconv.AppendFloat(buf, s.GaugeFn(), 'g', -1, 64)
+				} else {
+					buf = strconv.AppendInt(buf, s.Gauge.Load(), 10)
+				}
+				buf = append(buf, '\n')
+			}
+		}
+	}
+	return buf
+}
+
+func appendHeader(buf []byte, name, help string, kind Kind) []byte {
+	if help != "" {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = append(buf, strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help)...)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, "# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = append(buf, kind.String()...)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// appendSeriesName writes `name{labels} ` (with the trailing space),
+// leaving the value to the caller. extra, when non-empty, is appended as
+// a pre-rendered last label (used for `le`).
+func appendSeriesName(buf []byte, name string, labels []Label, extra ...Label) []byte {
+	buf = append(buf, name...)
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) > 0 {
+		buf = append(buf, '{')
+		for i, l := range all {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, l.Key...)
+			buf = append(buf, '=', '"')
+			buf = append(buf, escapeLabel(l.Value)...)
+			buf = append(buf, '"')
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	return buf
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	return strings.NewReplacer("\\", `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+func appendHist(buf []byte, s *Series) []byte {
+	snap := s.Hist.Snapshot()
+	exps := promSecondsExps
+	if s.Unit == UnitNone {
+		exps = promRawExps
+	}
+	for _, bound := range exps {
+		le := strconv.FormatFloat(boundValue(bound, s.Unit), 'g', -1, 64)
+		buf = appendSeriesName(buf, s.Name+"_bucket", s.Labels, Label{Key: "le", Value: le})
+		buf = strconv.AppendInt(buf, snap.CountBelow(bound), 10)
+		buf = append(buf, '\n')
+	}
+	buf = appendSeriesName(buf, s.Name+"_bucket", s.Labels, Label{Key: "le", Value: "+Inf"})
+	buf = strconv.AppendInt(buf, snap.Count, 10)
+	buf = append(buf, '\n')
+	buf = appendSeriesName(buf, s.Name+"_sum", s.Labels)
+	buf = strconv.AppendFloat(buf, sumValue(snap.Sum, s.Unit), 'g', -1, 64)
+	buf = append(buf, '\n')
+	buf = appendSeriesName(buf, s.Name+"_count", s.Labels)
+	buf = strconv.AppendInt(buf, snap.Count, 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+func boundValue(bound uint64, u Unit) float64 {
+	if u == UnitSeconds {
+		return float64(bound) / 1e9
+	}
+	return float64(bound)
+}
+
+func sumValue(sum int64, u Unit) float64 {
+	if u == UnitSeconds {
+		return float64(sum) / 1e9
+	}
+	return float64(sum)
+}
+
+// ServeMetric maps one ServeSnapshot field onto its exported Prometheus
+// identity. The table is the single source of truth for the flat-counter
+// half of /v1/metrics; a reflection test asserts it covers every
+// ServeSnapshot field exactly once.
+type ServeMetric struct {
+	// Field is the ServeSnapshot (and /stats "counters") field name.
+	Field string
+	// Name is the exported metric family name.
+	Name string
+	Kind Kind
+	Help string
+	Get  func(*ServeSnapshot) int64
+}
+
+// ServeMetrics lists every ServeCounters field's exposition. Order is the
+// exposition order (grouped as the struct is).
+var ServeMetrics = []ServeMetric{
+	{"Lookups", "spinner_lookups_total", KindCounter, "Vertex-to-partition lookups served.", func(s *ServeSnapshot) int64 { return s.Lookups }},
+	{"LookupMisses", "spinner_lookup_misses_total", KindCounter, "Lookups for vertices outside the snapshot.", func(s *ServeSnapshot) int64 { return s.LookupMisses }},
+	{"StalenessSum", "spinner_lookup_staleness_batches_total", KindCounter, "Per-lookup sum of the mutation-batch backlog observed (mean staleness = this / spinner_lookups_total).", func(s *ServeSnapshot) int64 { return s.StalenessSum }},
+	{"BatchesApplied", "spinner_batches_applied_total", KindCounter, "Mutation batches applied to the authoritative graph.", func(s *ServeSnapshot) int64 { return s.BatchesApplied }},
+	{"BatchesRejected", "spinner_batches_rejected_total", KindCounter, "Mutation batches refused by validation or a failed journal append.", func(s *ServeSnapshot) int64 { return s.BatchesRejected }},
+	{"EdgesAdded", "spinner_edges_added_total", KindCounter, "Edges added by applied batches.", func(s *ServeSnapshot) int64 { return s.EdgesAdded }},
+	{"EdgesRemoved", "spinner_edges_removed_total", KindCounter, "Edges removed by applied batches.", func(s *ServeSnapshot) int64 { return s.EdgesRemoved }},
+	{"VerticesAdded", "spinner_vertices_added_total", KindCounter, "Vertices appended by applied batches.", func(s *ServeSnapshot) int64 { return s.VerticesAdded }},
+	{"SnapshotSwaps", "spinner_snapshot_swaps_total", KindCounter, "Atomic snapshot publications of any kind.", func(s *ServeSnapshot) int64 { return s.SnapshotSwaps }},
+	{"Restabilizations", "spinner_restabilizations_total", KindCounter, "Completed background restabilization runs merged.", func(s *ServeSnapshot) int64 { return s.Restabilizations }},
+	{"RestabDiscarded", "spinner_restabs_discarded_total", KindCounter, "Background runs discarded because the partition count changed mid-flight.", func(s *ServeSnapshot) int64 { return s.RestabDiscarded }},
+	{"MidRunSnapshots", "spinner_midrun_snapshots_total", KindCounter, "Snapshots published from in-flight restabilization runs.", func(s *ServeSnapshot) int64 { return s.MidRunSnapshots }},
+	{"MigratedVertices", "spinner_migrated_vertices_total", KindCounter, "Vertices that changed partition when restabilization results merged.", func(s *ServeSnapshot) int64 { return s.MigratedVertices }},
+	{"MigratedWeight", "spinner_migrated_weight_total", KindCounter, "Weighted degree dragged across partitions by merges.", func(s *ServeSnapshot) int64 { return s.MigratedWeight }},
+	{"ElasticResizes", "spinner_elastic_resizes_total", KindCounter, "Elastic partition-count changes applied.", func(s *ServeSnapshot) int64 { return s.ElasticResizes }},
+	{"ElasticSeedMoved", "spinner_elastic_seed_moved_total", KindCounter, "Vertices moved by the probabilistic elastic relabeling itself.", func(s *ServeSnapshot) int64 { return s.ElasticSeedMoved }},
+	{"ShardBatches", "spinner_shard_batches_total", KindCounter, "Per-shard sub-batch applications on the sharded fast path.", func(s *ServeSnapshot) int64 { return s.ShardBatches }},
+	{"CutReconciles", "spinner_cut_reconciles_total", KindCounter, "Periodic exact cut recomputations.", func(s *ServeSnapshot) int64 { return s.CutReconciles }},
+	{"CutDrift", "spinner_cut_drift_total", KindCounter, "Shards whose incremental cut counters disagreed with an exact pass.", func(s *ServeSnapshot) int64 { return s.CutDrift }},
+	{"ShardRebalances", "spinner_shard_rebalances_total", KindCounter, "Shard-boundary recomputations that moved a boundary.", func(s *ServeSnapshot) int64 { return s.ShardRebalances }},
+	{"JournalAppends", "spinner_journal_appends_total", KindCounter, "Records durably framed into the write-ahead journal.", func(s *ServeSnapshot) int64 { return s.JournalAppends }},
+	{"JournalBytes", "spinner_journal_bytes_total", KindCounter, "Encoded bytes appended to the journal.", func(s *ServeSnapshot) int64 { return s.JournalBytes }},
+	{"JournalSyncs", "spinner_journal_syncs_total", KindCounter, "Journal fsyncs issued under the configured policy.", func(s *ServeSnapshot) int64 { return s.JournalSyncs }},
+	{"Checkpoints", "spinner_checkpoints_total", KindCounter, "Checkpoints atomically installed (full and incremental).", func(s *ServeSnapshot) int64 { return s.Checkpoints }},
+	{"CheckpointBytes", "spinner_checkpoint_bytes_total", KindCounter, "Checkpoint payload bytes written.", func(s *ServeSnapshot) int64 { return s.CheckpointBytes }},
+	{"IncrCheckpointBytes", "spinner_checkpoint_incr_bytes_total", KindCounter, "Payload bytes of the incremental (delta) checkpoints.", func(s *ServeSnapshot) int64 { return s.IncrCheckpointBytes }},
+	{"CheckpointRebases", "spinner_checkpoint_rebases_total", KindCounter, "Full checkpoint re-encodes forced while a delta chain was open.", func(s *ServeSnapshot) int64 { return s.CheckpointRebases }},
+	{"ReplayedRecords", "spinner_replayed_records_total", KindCounter, "Journal records re-applied during crash recovery.", func(s *ServeSnapshot) int64 { return s.ReplayedRecords }},
+	{"GroupCommits", "spinner_group_commits_total", KindCounter, "Journal group appends (one write, at most one fsync each).", func(s *ServeSnapshot) int64 { return s.GroupCommits }},
+	{"GroupedEntries", "spinner_grouped_entries_total", KindCounter, "Records framed into group appends.", func(s *ServeSnapshot) int64 { return s.GroupedEntries }},
+	{"ApplyCoalesces", "spinner_apply_coalesces_total", KindCounter, "Shard broadcasts that merged two or more consecutive add-only batches.", func(s *ServeSnapshot) int64 { return s.ApplyCoalesces }},
+	{"CoalescedBatches", "spinner_coalesced_batches_total", KindCounter, "Batches merged by coalesced broadcasts.", func(s *ServeSnapshot) int64 { return s.CoalescedBatches }},
+	{"CheckpointsPending", "spinner_checkpoints_pending", KindGauge, "1 while a background checkpoint is being encoded/written/installed.", func(s *ServeSnapshot) int64 { return s.CheckpointsPending }},
+	{"QuotaRejections", "spinner_quota_rejections_total", KindCounter, "Submissions refused by per-tenant token-bucket admission control.", func(s *ServeSnapshot) int64 { return s.QuotaRejections }},
+	{"ShedRequests", "spinner_shed_requests_total", KindCounter, "HTTP requests shed under overload with 503 + Retry-After.", func(s *ServeSnapshot) int64 { return s.ShedRequests }},
+	{"DeferredRestabs", "spinner_deferred_restabs_total", KindCounter, "Restabilization passes deferred by the degradation budget.", func(s *ServeSnapshot) int64 { return s.DeferredRestabs }},
+	{"DeferredReconciles", "spinner_deferred_reconciles_total", KindCounter, "Reconcile passes deferred by the degradation budget.", func(s *ServeSnapshot) int64 { return s.DeferredReconciles }},
+	{"FairnessPasses", "spinner_fairness_passes_total", KindCounter, "Deficit-round-robin passes over the tenant ring.", func(s *ServeSnapshot) int64 { return s.FairnessPasses }},
+	{"DeltasPublished", "spinner_deltas_published_total", KindCounter, "Delta records published into the change-feed ring.", func(s *ServeSnapshot) int64 { return s.DeltasPublished }},
+	{"WatchStreams", "spinner_watch_streams", KindGauge, "Currently open /v1/watch streams.", func(s *ServeSnapshot) int64 { return s.WatchStreams }},
+	{"WatchStreamsTotal", "spinner_watch_streams_total", KindCounter, "/v1/watch streams ever accepted.", func(s *ServeSnapshot) int64 { return s.WatchStreamsTotal }},
+	{"ReplicaFramesSent", "spinner_replica_frames_sent_total", KindCounter, "Replication stream frames pushed to followers.", func(s *ServeSnapshot) int64 { return s.ReplicaFramesSent }},
+	{"ReplicaBytesSent", "spinner_replica_bytes_sent_total", KindCounter, "Encoded bytes pushed over replication streams.", func(s *ServeSnapshot) int64 { return s.ReplicaBytesSent }},
+	{"ReplicaRecordsApplied", "spinner_replica_records_applied_total", KindCounter, "Leader journal records applied through the replicated apply path.", func(s *ServeSnapshot) int64 { return s.ReplicaRecordsApplied }},
+	{"ReplicaFencedFrames", "spinner_replica_fenced_frames_total", KindCounter, "Replication frames rejected by the epoch check.", func(s *ServeSnapshot) int64 { return s.ReplicaFencedFrames }},
+	{"ReplicaReconnects", "spinner_replica_reconnects_total", KindCounter, "Follower stream re-establishments after a dropped connection.", func(s *ServeSnapshot) int64 { return s.ReplicaReconnects }},
+	{"StaleLookups", "spinner_stale_lookups_total", KindCounter, "Follower lookups refused with 503 stale_replica.", func(s *ServeSnapshot) int64 { return s.StaleLookups }},
+}
+
+// AppendServeProm renders every ServeCounters field from the snapshot in
+// Prometheus text format.
+func AppendServeProm(buf []byte, s *ServeSnapshot) []byte {
+	for _, m := range ServeMetrics {
+		buf = appendHeader(buf, m.Name, m.Help, m.Kind)
+		buf = append(buf, m.Name...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, m.Get(s), 10)
+		buf = append(buf, '\n')
+	}
+	return buf
+}

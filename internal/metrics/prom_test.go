@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.NewHistogram("spinner_test_seconds", "h", UnitSeconds, Label{"route", "lookup"})
+	h2 := r.NewHistogram("spinner_test_seconds", "h", UnitSeconds, Label{"route", "lookup"})
+	if h1 != h2 {
+		t.Fatal("duplicate registration minted a new histogram")
+	}
+	h3 := r.NewHistogram("spinner_test_seconds", "h", UnitSeconds, Label{"route", "mutate"})
+	if h1 == h3 {
+		t.Fatal("distinct label sets shared a histogram")
+	}
+	g1 := r.NewGauge("spinner_test_gauge", "g")
+	if g2 := r.NewGauge("spinner_test_gauge", "g"); g1 != g2 {
+		t.Fatal("duplicate gauge registration minted a new gauge")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.NewGauge("spinner_test_seconds", "clash", Label{"route", "lookup"})
+}
+
+// TestAppendPromExposition checks the hand-rolled writer's structural
+// contract: one HELP/TYPE pair per family, cumulative monotone buckets
+// ending in +Inf == _count, no duplicate series lines.
+func TestAppendPromExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("spinner_req_seconds", "request latency", UnitSeconds, Label{"route", "lookup"})
+	h2 := r.NewHistogram("spinner_req_seconds", "request latency", UnitSeconds, Label{"route", "mutate"})
+	g := r.NewGauge("spinner_open_things", "open things")
+	r.NewGaugeFunc("spinner_lag_seconds", "computed lag", func() float64 { return 1.5 })
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	h2.Record(3 * time.Millisecond)
+	g.Set(7)
+
+	out := string(r.AppendProm(nil))
+	for _, want := range []string{
+		"# TYPE spinner_req_seconds histogram",
+		"# TYPE spinner_open_things gauge",
+		"spinner_open_things 7",
+		"spinner_lag_seconds 1.5",
+		`spinner_req_seconds_bucket{route="lookup",le="+Inf"} 1000`,
+		`spinner_req_seconds_count{route="lookup"} 1000`,
+		`spinner_req_seconds_count{route="mutate"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c := strings.Count(out, "# TYPE spinner_req_seconds histogram"); c != 1 {
+		t.Fatalf("family header repeated %d times", c)
+	}
+	// No duplicate series lines.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.SplitN(line, " ", 2)[0]
+		if seen[name] {
+			t.Fatalf("duplicate series %q", name)
+		}
+		seen[name] = true
+	}
+	// Bucket cumulative counts must be monotone for each series.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `spinner_req_seconds_bucket{route="lookup"`) {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("non-monotone buckets at %q", line)
+		}
+		prev = v
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("spinner_esc", "", Label{"path", `a"b\c` + "\n"})
+	g.Set(1)
+	out := string(r.AppendProm(nil))
+	if !strings.Contains(out, `path="a\"b\\c\n"`) {
+		t.Fatalf("label not escaped: %s", out)
+	}
+}
+
+// TestServeMetricsCoverage asserts the exposition table covers every
+// ServeSnapshot field exactly once — adding a counter without exporting
+// it (or exporting a stale name) fails here.
+func TestServeMetricsCoverage(t *testing.T) {
+	covered := map[string]int{}
+	names := map[string]int{}
+	for _, m := range ServeMetrics {
+		covered[m.Field]++
+		names[m.Name]++
+	}
+	typ := reflect.TypeOf(ServeSnapshot{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i).Name
+		if covered[f] != 1 {
+			t.Errorf("ServeSnapshot.%s covered %d times in ServeMetrics, want exactly 1", f, covered[f])
+		}
+		delete(covered, f)
+	}
+	for f := range covered {
+		t.Errorf("ServeMetrics names unknown field %s", f)
+	}
+	for n, c := range names {
+		if c != 1 {
+			t.Errorf("metric name %s used %d times", n, c)
+		}
+		if !strings.HasPrefix(n, "spinner_") {
+			t.Errorf("metric name %s lacks the spinner_ prefix", n)
+		}
+	}
+	// The rendered text must carry every name.
+	snap := ServeSnapshot{Lookups: 5, WatchStreams: 2}
+	out := string(AppendServeProm(nil, &snap))
+	if !strings.Contains(out, "spinner_lookups_total 5") || !strings.Contains(out, "spinner_watch_streams 2") {
+		t.Fatalf("serve exposition missing values:\n%s", out)
+	}
+}

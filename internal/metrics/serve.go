@@ -140,8 +140,11 @@ type ServeCounters struct {
 	// DeltasPublished counts Delta records published into the change-feed
 	// ring (baselines, barrier deltas and counter-only deltas).
 	DeltasPublished atomic.Int64
-	// WatchStreams counts /v1/watch streams accepted (not currently open).
+	// WatchStreams is a gauge of currently open /v1/watch streams:
+	// incremented when a stream is accepted, decremented when it closes.
 	WatchStreams atomic.Int64
+	// WatchStreamsTotal counts /v1/watch streams ever accepted.
+	WatchStreamsTotal atomic.Int64
 
 	// Replication path (internal/replica; zero unless replicating).
 
@@ -180,6 +183,7 @@ type ServeSnapshot struct {
 	CheckpointBytes, ReplayedRecords        int64
 	IncrCheckpointBytes, CheckpointRebases  int64
 	DeltasPublished, WatchStreams           int64
+	WatchStreamsTotal                       int64
 	GroupCommits, GroupedEntries            int64
 	ApplyCoalesces, CoalescedBatches        int64
 	CheckpointsPending                      int64
@@ -226,6 +230,7 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		CheckpointRebases:   c.CheckpointRebases.Load(),
 		DeltasPublished:     c.DeltasPublished.Load(),
 		WatchStreams:        c.WatchStreams.Load(),
+		WatchStreamsTotal:   c.WatchStreamsTotal.Load(),
 
 		GroupCommits:     c.GroupCommits.Load(),
 		GroupedEntries:   c.GroupedEntries.Load(),
@@ -271,7 +276,7 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, incr %dB, rebases %d, pending %d) replayed=%d deltas=%d watches=%d quota-rej=%d shed=%d deferred=%d/%d fair=%d replica=%d/%dB (applied %d, fenced %d, reconnects %d, stale-503 %d)",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, incr %dB, rebases %d, pending %d) replayed=%d deltas=%d watches=%d/%d quota-rej=%d shed=%d deferred=%d/%d fair=%d replica=%d/%dB (applied %d, fenced %d, reconnects %d, stale-503 %d)",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
 		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
@@ -281,7 +286,7 @@ func (s ServeSnapshot) String() string {
 		s.JournalAppends, s.JournalBytes, s.JournalSyncs,
 		s.GroupCommits, s.GroupCommitDepth(), s.CoalescedBatches, s.ApplyCoalesces,
 		s.Checkpoints, s.CheckpointBytes, s.IncrCheckpointBytes, s.CheckpointRebases,
-		s.CheckpointsPending, s.ReplayedRecords, s.DeltasPublished, s.WatchStreams,
+		s.CheckpointsPending, s.ReplayedRecords, s.DeltasPublished, s.WatchStreams, s.WatchStreamsTotal,
 		s.QuotaRejections, s.ShedRequests, s.DeferredRestabs, s.DeferredReconciles,
 		s.FairnessPasses,
 		s.ReplicaFramesSent, s.ReplicaBytesSent, s.ReplicaRecordsApplied,

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -53,6 +54,12 @@ type Follower struct {
 	caughtUpAt atomic.Int64 // unix nanos of the last applied==leader observation
 	promoted   atomic.Bool
 	fatal      atomic.Pointer[error]
+
+	// lagHist tracks the apply lag (leader seq − applied seq, in
+	// records) observed at each record application; the instantaneous
+	// lag and wall-clock staleness are gauge funcs over the same atomics
+	// (see registerMetrics).
+	lagHist *metrics.Histogram
 
 	closeOnce sync.Once
 }
@@ -100,8 +107,31 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	f.st = st
 	f.appliedSeq.Store(st.JournalSeq())
 	f.caughtUpAt.Store(time.Now().UnixNano())
+	f.registerMetrics()
 	go f.run()
 	return f, nil
+}
+
+// registerMetrics publishes the replication watermark into the store's
+// metric registry: instantaneous lag and staleness as computed gauges
+// (sampled at exposition time) plus a histogram of the apply lag seen by
+// each applied record, so catch-up bursts stay visible between scrapes.
+func (f *Follower) registerMetrics() {
+	reg := f.st.Metrics()
+	reg.NewGaugeFunc("spinner_replica_lag_records",
+		"Leader journal sequence minus the follower's applied sequence.",
+		func() float64 {
+			if lag := int64(f.leaderSeq.Load()) - int64(f.appliedSeq.Load()); lag > 0 {
+				return float64(lag)
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("spinner_replica_staleness_seconds",
+		"Wall-clock time since the follower last observed itself caught up.",
+		func() float64 { return f.Staleness().Seconds() })
+	f.lagHist = reg.NewHistogram("spinner_replica_apply_lag_records",
+		"Apply lag in journal records observed at each record application.",
+		metrics.UnitNone)
 }
 
 func normalizeLeader(addr string) string {
@@ -300,6 +330,9 @@ func (f *Follower) applyRecord(rec wal.Record) error {
 	}
 	f.appliedSeq.Store(rec.Seq)
 	f.st.Counters().ReplicaRecordsApplied.Add(1)
+	if lag := int64(f.leaderSeq.Load()) - int64(rec.Seq); lag >= 0 {
+		f.lagHist.RecordValue(lag)
+	}
 	return nil
 }
 

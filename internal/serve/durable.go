@@ -477,13 +477,18 @@ func (s *Store) maybeCheckpoint() {
 		return
 	}
 	var st *ckptState
+	tCapture := time.Now()
 	s.withBarrier(func() {
 		st = s.captureState(true)
 	})
+	s.stageHist[stageCkptCapture].Record(time.Since(tCapture))
 	s.d.pending = true
 	s.ctr.CheckpointsPending.Store(1)
 	go func() {
-		s.ckptDone <- s.writeCheckpointState(st)
+		tWrite := time.Now()
+		res := s.writeCheckpointState(st)
+		s.stageHist[stageCkptWrite].Record(time.Since(tWrite))
+		s.ckptDone <- res
 	}()
 }
 
@@ -1127,6 +1132,7 @@ func newStoreFromCheckpoint(st *ckptState, cfg Config) (*Store, error) {
 		midrun:          make(chan midrunNote, 1),
 		ckptDone:        make(chan ckptResult, 1),
 	}
+	s.initMetrics()
 	for _, v := range st.affected {
 		s.affected[v] = struct{}{}
 	}

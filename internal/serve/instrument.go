@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"math/bits"
+
+	"repro/internal/metrics"
+)
+
+// Pipeline stages timed by the coordinator into per-stage histograms
+// (spinner_stage_duration_seconds{stage=...}). Each index names one seam
+// of the staged commit pipeline:
+//
+//	drain               log drain + group formation (transferLog + nextGroup)
+//	journal             wal group append incl. the fsync wait (journalGroup)
+//	apply               shard broadcast / barrier application of one group
+//	publish             full shard republication after a relabeling event
+//	checkpoint_capture  the under-barrier state clone (captureState)
+//	checkpoint_write    background checkpoint encode + install
+const (
+	stageDrain = iota
+	stageJournal
+	stageApply
+	stagePublish
+	stageCkptCapture
+	stageCkptWrite
+	numStages
+)
+
+var stageNames = [numStages]string{
+	stageDrain:       "drain",
+	stageJournal:     "journal",
+	stageApply:       "apply",
+	stagePublish:     "publish",
+	stageCkptCapture: "checkpoint_capture",
+	stageCkptWrite:   "checkpoint_write",
+}
+
+// initMetrics builds the store's metric registry and registers the serve
+// plane's own series. The registry is process-scoped by convention: the
+// API layer and the replication follower register their series into the
+// same registry (via Store.Metrics) so one /v1/metrics endpoint covers
+// the whole process. Called from both constructors (newStore and
+// newStoreFromCheckpoint) before any goroutine can observe the store.
+func (s *Store) initMetrics() {
+	s.reg = metrics.NewRegistry()
+	for i := range s.stageHist {
+		s.stageHist[i] = s.reg.NewHistogram(
+			"spinner_stage_duration_seconds",
+			"Wall-clock duration of one execution of a serve-pipeline stage.",
+			metrics.UnitSeconds,
+			metrics.Label{Key: "stage", Value: stageNames[i]},
+		)
+	}
+	s.lookupHist = s.reg.NewHistogram(
+		"spinner_lookup_duration_seconds",
+		"Sampled lookup latency (one in Config.LookupSampleEvery lookups is timed).",
+		metrics.UnitSeconds,
+	)
+	// Sampling mask: a lookup is timed when its Lookups-counter value has
+	// all mask bits zero, i.e. one in every (mask+1) lookups. The counter
+	// starts at 1, so the all-ones disabled mask matches (practically)
+	// never without any extra branch on the hot path.
+	switch every := s.cfg.LookupSampleEvery; {
+	case every < 0:
+		s.lookupMask = ^uint64(0)
+	case every <= 1:
+		s.lookupMask = 0
+	default:
+		s.lookupMask = 1<<bits.Len64(uint64(every)-1) - 1
+	}
+}

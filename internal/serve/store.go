@@ -128,6 +128,13 @@ type Config struct {
 	// Overload tunes the degradation budget; the zero value never
 	// declares overload.
 	Overload OverloadConfig
+	// LookupSampleEvery times one in N lookups into the lookup-latency
+	// histogram (N is rounded up to a power of two). Timing every lookup
+	// would roughly double the ~50ns lock-free path, so sampling keeps
+	// the instrumented cost within noise while still filling the
+	// histogram quickly at serving rates. 0 means the default 256;
+	// negative disables lookup timing entirely.
+	LookupSampleEvery int
 }
 
 func (c *Config) normalize() error {
@@ -174,6 +181,9 @@ func (c *Config) normalize() error {
 	}
 	if c.DeltaRing < 1 {
 		return fmt.Errorf("serve: DeltaRing=%d", c.DeltaRing)
+	}
+	if c.LookupSampleEvery == 0 {
+		c.LookupSampleEvery = 256
 	}
 	if err := c.Quota.normalize(); err != nil {
 		return err
@@ -260,6 +270,14 @@ type Store struct {
 	ctr    metrics.ServeCounters
 	router atomic.Pointer[routeTable]
 	deltas *deltaHub // change-feed ring; internally synchronized
+
+	// Observability plane (instrument.go): the named-series registry the
+	// whole process shares, the per-stage pipeline histograms, and the
+	// sampled lookup-latency histogram with its sampling mask.
+	reg        *metrics.Registry
+	stageHist  [numStages]*metrics.Histogram
+	lookupHist *metrics.Histogram
+	lookupMask uint64
 
 	submitted atomic.Int64 // batches submitted (staleness numerator)
 	applied   atomic.Int64 // batches resolved (applied or rejected)
@@ -377,6 +395,7 @@ func newStore(w *graph.Weighted, labels []int32, cfg Config) (*Store, error) {
 		midrun:     make(chan midrunNote, 1),
 		ckptDone:   make(chan ckptResult, 1),
 	}
+	s.initMetrics()
 	if w.NumVertices() == 0 {
 		s.bounds = []int{0, 0}
 	} else {
@@ -432,7 +451,15 @@ func Bootstrap(g *graph.Graph, cfg Config) (*Store, error) {
 // The second return is false when v is not (yet) visible: either never
 // created, or appended by a batch whose snapshot has not been published.
 func (s *Store) Lookup(v graph.VertexID) (int32, bool) {
-	s.ctr.Lookups.Add(1)
+	// Latency sampling rides the counter every lookup already pays for:
+	// unsampled lookups add one mask compare (~1ns), sampled ones pay the
+	// two clock reads. See Config.LookupSampleEvery.
+	n := s.ctr.Lookups.Add(1)
+	sampled := uint64(n)&s.lookupMask == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	if lag := s.submitted.Load() - s.applied.Load(); lag > 0 {
 		s.ctr.StalenessSum.Add(lag)
 	}
@@ -440,9 +467,15 @@ func (s *Store) Lookup(v graph.VertexID) (int32, bool) {
 		rt := s.router.Load()
 		if v < 0 || int(v) >= rt.n {
 			s.ctr.LookupMisses.Add(1)
+			if sampled {
+				s.lookupHist.Record(time.Since(t0))
+			}
 			return -1, false
 		}
 		if l, ok := rt.shardOf(v).snap.Load().lookup(v); ok {
+			if sampled {
+				s.lookupHist.Record(time.Since(t0))
+			}
 			return l, true
 		}
 		// The router says v exists but the routed snapshot does not cover
@@ -543,6 +576,12 @@ func (s *Store) K() int {
 
 // Counters exposes the serving metrics.
 func (s *Store) Counters() *metrics.ServeCounters { return &s.ctr }
+
+// Metrics exposes the store's named-series registry. It is the
+// process-wide home for histograms and gauges: the API layer and the
+// replication follower register their series here, so one /v1/metrics
+// endpoint rendered from this registry covers the whole process.
+func (s *Store) Metrics() *metrics.Registry { return s.reg }
 
 // Err returns the most recent batch-application error, if any. Rejected
 // batches do not stop the store; they are counted and dropped.
@@ -834,8 +873,10 @@ func (s *Store) loop() {
 		s.maybeCheckpoint()
 		s.maybeRestabilize()
 		s.maybeReleaseQuiescers()
+		tDrain := time.Now()
 		s.transferLog()
 		if g := s.nextGroup(); len(g) > 0 {
+			s.stageHist[stageDrain].Record(time.Since(tDrain))
 			s.handleGroup(g)
 			clear(g) // drop batch references; the buffer outlives the turn
 			continue
@@ -923,7 +964,16 @@ func (s *Store) drainAndExit() {
 // single shard broadcast. Control entries (quiesce, attach, reconcile)
 // are interleaved at their submitted positions.
 func (s *Store) handleGroup(entries []logEntry) {
-	ok := s.journalGroup(entries)
+	var ok bool
+	if s.d != nil && s.d.active {
+		tJournal := time.Now()
+		ok = s.journalGroup(entries)
+		s.stageHist[stageJournal].Record(time.Since(tJournal))
+	} else {
+		ok = s.journalGroup(entries)
+	}
+	tApply := time.Now()
+	defer func() { s.stageHist[stageApply].Record(time.Since(tApply)) }()
 	var run []*graph.Mutation
 	flush := func() {
 		if len(run) > 0 {
@@ -1174,6 +1224,8 @@ func (s *Store) resize(newK int) {
 // events (resize, merges), which move too many labels for per-edge deltas
 // to pay off.
 func (s *Store) recomputeShardCuts() {
+	tPublish := time.Now()
+	defer func() { s.stageHist[stagePublish].Record(time.Since(tPublish)) }()
 	s.pubGen++ // new label generation: Snapshot refuses to mix rounds
 	for _, sh := range s.shards {
 		sh.labels = s.labels

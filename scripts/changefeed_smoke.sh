@@ -100,9 +100,11 @@ fi
 LINES=$(wc -l < "$BINDIR/feed.txt")
 echo "   feed == lookup over $LINES vertices (retention [$FLOOR,$NEXT))"
 
-WATCHES=$(stat_field WatchStreams)
+# WatchStreams is a gauge of open streams (0 once consumers hang up);
+# the monotonic accepted-stream count is WatchStreamsTotal.
+WATCHES=$(stat_field WatchStreamsTotal)
 PUBLISHED=$(stat_field DeltasPublished)
-[ "$WATCHES" -ge 2 ] || { echo "FAIL: WatchStreams=$WATCHES, want >= 2" >&2; exit 1; }
+[ "$WATCHES" -ge 2 ] || { echo "FAIL: WatchStreamsTotal=$WATCHES, want >= 2" >&2; exit 1; }
 [ "$PUBLISHED" -ge 32 ] || { echo "FAIL: DeltasPublished=$PUBLISHED, want >= 32" >&2; exit 1; }
 
 echo "== incremental checkpoints on disk"
