@@ -36,6 +36,12 @@
 #                      histogram's record path) and
 #                      BenchmarkServeLookupInstrumented (sampled-vs-off
 #                      lookup timing overhead), both into BENCH_pr9.json
+#   make bench-watch — same gate but BenchmarkWatchFanout (one publisher
+#                      churning deltas into the hub while 256/2k/10k
+#                      subscribers drain it: the encode-once shared-frame
+#                      path vs the per-subscriber re-encode baseline;
+#                      encodes/op and p99 publish→delivery latency ride
+#                      along as extra metrics), into BENCH_pr10.json
 #   make bench-quick — CI benchmark smoke: every recorded benchmark runs
 #                      once (-benchtime=1x -count=1, no JSON write), so
 #                      compile/run breakage is caught without timing runs
@@ -90,7 +96,7 @@
 # Go version pinned in go.mod, and uploads BENCH_pr4.json through
 # BENCH_pr9.json as workflow artifacts.
 
-.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-replica bench-delta bench-metrics bench-quick recovery-smoke overload-smoke replication-smoke changefeed-smoke metrics-smoke
+.PHONY: all check build vet lint test test-race bench bench-serve bench-mutate bench-durable bench-fairness bench-replica bench-delta bench-metrics bench-watch bench-quick recovery-smoke overload-smoke replication-smoke changefeed-smoke metrics-smoke
 
 all: check
 
@@ -141,10 +147,13 @@ bench-metrics:
 	./scripts/bench.sh -l histogram -b BenchmarkHistogramRecord -p ./internal/metrics -o BENCH_pr9.json
 	./scripts/bench.sh -l lookup-overhead -b BenchmarkServeLookupInstrumented -p ./internal/serve -o BENCH_pr9.json
 
+bench-watch:
+	./scripts/bench.sh -l current -b BenchmarkWatchFanout -p ./internal/serve -o BENCH_pr10.json
+
 bench-quick:
 	./scripts/bench.sh -q -b BenchmarkSpinnerIteration -p .
 	./scripts/bench.sh -q -b 'BenchmarkServe(LookupUnderChurn|MutateThroughput|MutateDurable|Fairness|LookupInstrumented)' -p ./internal/serve
-	./scripts/bench.sh -q -b BenchmarkCheckpointDelta -p ./internal/serve
+	./scripts/bench.sh -q -b 'Benchmark(CheckpointDelta|WatchFanout)' -p ./internal/serve
 	./scripts/bench.sh -q -b BenchmarkFollowerLookupStaleness -p ./internal/replica
 	./scripts/bench.sh -q -b BenchmarkHistogramRecord -p ./internal/metrics
 

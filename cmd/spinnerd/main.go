@@ -130,6 +130,29 @@
 // (restart ⇒ resync), and a consumer that falls behind the ring gets an
 // honest 410 and re-bootstraps from the full map.
 //
+// # Watch at scale
+//
+// The watch fan-out is encode-once: each publication's delta payload
+// and its complete CRC-framed wire frame are memoized in the ring entry
+// at publish time, and every connected stream writes the same immutable
+// bytes — one encode and one CRC per publication whether one stream or
+// ten thousand are attached (BenchmarkWatchFanout / make bench-watch
+// records the curve into BENCH_pr10.json). Idle streams park on
+// per-subscriber coalesced wakeups (a single-slot channel each) rather
+// than a shared broadcast channel, so a publication wakes each stream
+// at most once — a stream that fell several publications behind wakes
+// once and drains a batch — and a slow consumer never blocks the
+// publisher. Ring reads are lock-free snapshot loads, so catch-up reads
+// never contend with publishes. A cursor that compaction overruns
+// mid-stream (the ring is bounded; a consumer stalled longer than
+// -delta-ring publications loses its place) is told so explicitly: the
+// server sends a typed end frame carrying the refreshed floor/next
+// bounds before closing the stream, the client surfaces it as the same
+// "compacted" condition as the 410, and the consumer resyncs via
+// GET /v1/lookup. spinnerctl watch -reconnect automates the whole loop:
+// jittered-backoff re-dial on connection drops, resume from the last
+// applied sequence, full lookup resync on 410 or end frame.
+//
 // # HTTP API (v1)
 //
 // Every endpoint lives under /v1/; the pre-versioning paths (/lookup,
@@ -186,6 +209,9 @@
 //	                         the baseline full-label record). Long-polls forever
 //	                         unless limit > 0 caps the deltas delivered.
 //	                         Headers X-Delta-Floor/X-Delta-Next report retention.
+//	                         If compaction overruns the cursor mid-stream, a
+//	                         final end frame (refreshed floor+next) precedes the
+//	                         close — resync exactly as for the 410 below.
 //	                         410 {"code":"compacted"} the cursor fell below the
 //	                         compaction floor | 410 {"code":"reset"} the cursor is
 //	                         from a previous server incarnation — both mean: full
@@ -240,6 +266,12 @@
 //	    quantity /v1/stats reports as staleness_ms.
 //	spinner_replica_apply_lag_records      histogram (follower only)
 //	    apply lag observed at each applied record (raw record counts).
+//	spinner_watch_fanout_duration_seconds  histogram
+//	    change-feed delivery latency: delta publication to the batch
+//	    containing it being flushed to a watch stream.
+//	spinner_watch_subscribers              gauge
+//	    watch streams currently registered on (or still draining) the
+//	    delta hub's broadcast plane.
 //
 // The second plane is every counter /v1/stats carries under "counters",
 // one series per field, CamelCase mapped to snake_case with the
@@ -249,7 +281,12 @@
 // non-monotonic fields are gauges: spinner_checkpoints_pending (1 while
 // a background checkpoint is in flight) and spinner_watch_streams
 // (currently open /v1/watch streams; the companion counter
-// spinner_watch_streams_total counts every accepted stream). The full
+// spinner_watch_streams_total counts every accepted stream). The
+// encode-once fan-out invariant is auditable from two of them:
+// spinner_delta_encodes_total tracks spinner_deltas_published_total
+// exactly, independent of how many streams are attached, and
+// spinner_watch_bytes_sent_total totals the frame bytes written across
+// all watch streams. The full
 // name table lives in internal/metrics (ServeMetrics), and
 // /v1/stats.latency carries headline p50/p90/p99/max per histogram for
 // humans who want quantiles without a scraper.

@@ -58,12 +58,32 @@ type Server struct {
 
 	// Heartbeat is the idle /v1/watch heartbeat period (default 1s).
 	Heartbeat time.Duration
+
+	// feed is the slice of the store the watch handler reads; it is the
+	// store itself in production and a seam for tests that need to
+	// inject compaction races deterministically.
+	feed watchFeed
+	// fanoutHist records publish-to-delivery latency of delta frames
+	// written to watch streams (spinner_watch_fanout_duration_seconds).
+	fanoutHist *metrics.Histogram
+}
+
+// watchFeed is the change-feed surface handleWatch consumes.
+type watchFeed interface {
+	DeltaBounds() (floor, next uint64)
+	FramedDeltasSince(after uint64, max int) ([]serve.FramedDelta, uint64)
+	SubscribeDeltas() *serve.DeltaSub
 }
 
 // NewServer wires a store (and its optional replication role) into an
 // API server. rep may be nil.
 func NewServer(st *serve.Store, rep *Replica) *Server {
-	return &Server{st: st, rep: rep, Heartbeat: time.Second}
+	return &Server{st: st, rep: rep, Heartbeat: time.Second, feed: st,
+		fanoutHist: st.Metrics().NewHistogram(
+			"spinner_watch_fanout_duration_seconds",
+			"Publish-to-delivery latency of delta frames written to /v1/watch streams (sampled at the last frame of each batch).",
+			metrics.UnitSeconds,
+		)}
 }
 
 // Mux builds the route table: every endpoint under /v1/ plus the legacy

@@ -308,9 +308,12 @@ func (w *Watcher) readFrame() (api.WatchFrame, error) {
 }
 
 // Recv blocks for the next event: a delta record, or a heartbeat with
-// Delta nil. io.EOF means the server closed the stream (limit reached,
-// shutdown, or the cursor fell past the floor mid-stream — re-Watch to
-// learn which; a compacted cursor then earns ErrCompacted).
+// Delta nil. io.EOF means the server closed the stream (limit reached
+// or shutdown — a plain connection end, safe to re-Watch from the same
+// cursor). A cursor that compaction overran mid-stream arrives as a
+// typed end frame and surfaces as an error matching ErrCompacted (with
+// the event carrying the server's new bounds): full-resync via
+// LookupAll, like a 410 on Watch.
 func (w *Watcher) Recv() (Event, error) {
 	f, err := w.readFrame()
 	if err != nil {
@@ -329,6 +332,10 @@ func (w *Watcher) Recv() (Event, error) {
 	case api.WatchHeartbeat:
 		w.floor, w.next = f.Floor, f.Next
 		return Event{Floor: w.floor, Next: w.next}, nil
+	case api.WatchEnd:
+		w.floor, w.next = f.Floor, f.Next
+		return Event{Floor: w.floor, Next: w.next},
+			fmt.Errorf("client: cursor compacted away mid-stream (floor now %d): %w", f.Floor, ErrCompacted)
 	default:
 		return Event{}, fmt.Errorf("client: unexpected mid-stream frame kind %d", f.Kind)
 	}

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// AutoWatcher consumes the change feed across connection failures: it
+// re-dials with jittered exponential backoff and resumes from the last
+// delta sequence it delivered, so a flappy network or a server restart
+// of the HTTP listener costs at most a re-read of undelivered deltas,
+// never a gap. What it deliberately does NOT hide is an unserveable
+// cursor: a 410 ("compacted"/"reset") on reconnect, or a typed end
+// frame mid-stream, surfaces as an error matching ErrCompacted — only
+// the caller can run the /v1/lookup resync (it owns the label state) —
+// after which SetCursor re-arms the watcher at the resync cursor.
+//
+// Not safe for concurrent use.
+type AutoWatcher struct {
+	// BaseBackoff and MaxBackoff bound the jittered exponential delay
+	// between re-dials (defaults 50ms and 5s). The delay before attempt
+	// n is uniform in [d/2, d] with d = min(Base<<n, Max).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Reconnects counts successful re-dials after the initial connect —
+	// an observability hook for tests and CLIs.
+	Reconnects int
+
+	c         *Client
+	ctx       context.Context
+	w         *Watcher
+	cursor    uint64
+	connected bool // a stream was established at least once
+	attempt   int  // consecutive failed dials, for backoff growth
+	rng       *rand.Rand
+}
+
+// WatchReconnect returns an auto-reconnecting watcher resuming after
+// fromSeq. No connection is made until the first Recv. Cancel ctx to
+// stop; Close releases the current stream.
+func (c *Client) WatchReconnect(ctx context.Context, fromSeq uint64) *AutoWatcher {
+	return &AutoWatcher{
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		c:           c,
+		ctx:         ctx,
+		cursor:      fromSeq,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Cursor returns the last delta sequence delivered (or the sequence the
+// watcher will resume after).
+func (a *AutoWatcher) Cursor() uint64 { return a.cursor }
+
+// SetCursor re-arms the watcher after fromSeq — the caller's half of
+// the ErrCompacted contract, called with the FromSeq of the LookupAll
+// resync. Any current stream is dropped; the next Recv re-dials.
+func (a *AutoWatcher) SetCursor(fromSeq uint64) {
+	a.cursor = fromSeq
+	if a.w != nil {
+		a.w.Close()
+		a.w = nil
+	}
+}
+
+// Recv blocks for the next event, transparently re-dialing on
+// connection failures and server-side stream ends (limit, shutdown).
+// Errors matching ErrCompacted mean the cursor is unserveable: resync
+// via LookupAll, SetCursor(resp.FromSeq), and call Recv again. Any
+// other returned error is terminal (context cancellation, corrupt
+// stream).
+func (a *AutoWatcher) Recv() (Event, error) {
+	for {
+		if a.w == nil {
+			if err := a.dial(); err != nil {
+				return Event{}, err
+			}
+		}
+		ev, err := a.w.Recv()
+		if err == nil {
+			if ev.Delta != nil {
+				a.cursor = ev.Delta.Seq
+			}
+			a.attempt = 0
+			return ev, nil
+		}
+		a.w.Close()
+		a.w = nil
+		if errors.Is(err, ErrCompacted) {
+			// The typed end frame: hand the resync decision up with the
+			// refreshed bounds.
+			return ev, err
+		}
+		if a.ctx.Err() != nil {
+			return Event{}, a.ctx.Err()
+		}
+		// io.EOF, a torn read, or a decode failure on a half-written
+		// frame: the connection is gone. Back off and resume from the
+		// cursor; anything truly unserveable turns into a 410 on the
+		// re-dial, which dial surfaces as ErrCompacted.
+		if werr := a.backoff(); werr != nil {
+			return Event{}, werr
+		}
+	}
+}
+
+// dial establishes a stream after the current cursor, retrying
+// connection-level failures with backoff. API-level refusals
+// (ErrCompacted and friends) are surfaced, not retried.
+func (a *AutoWatcher) dial() error {
+	for {
+		w, err := a.c.Watch(a.ctx, a.cursor)
+		if err == nil {
+			a.w = w
+			if a.connected {
+				a.Reconnects++
+			}
+			a.connected = true
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) || a.ctx.Err() != nil {
+			return err
+		}
+		if werr := a.backoff(); werr != nil {
+			return werr
+		}
+	}
+}
+
+// backoff sleeps the jittered exponential delay for the next attempt,
+// or returns early with the context's error.
+func (a *AutoWatcher) backoff() error {
+	d := a.BaseBackoff << a.attempt
+	if d <= 0 || d > a.MaxBackoff {
+		d = a.MaxBackoff
+	}
+	if a.attempt < 30 {
+		a.attempt++
+	}
+	// Uniform in [d/2, d]: full-jitter halves synchronized reconnect
+	// herds without ever going below half the deterministic schedule.
+	d = d/2 + time.Duration(a.rng.Int63n(int64(d/2)+1))
+	select {
+	case <-a.ctx.Done():
+		return a.ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// Close releases the current stream, if any. The watcher may be reused
+// afterwards (the next Recv re-dials).
+func (a *AutoWatcher) Close() error {
+	if a.w == nil {
+		return nil
+	}
+	err := a.w.Close()
+	a.w = nil
+	return err
+}

@@ -1,0 +1,60 @@
+package api
+
+import "time"
+
+// heartbeatTimer wraps time.Timer with the stop/drain/reset discipline
+// a select loop needs when it re-arms the timer on every iteration.
+// The subtlety it encapsulates: time.Timer.Reset on a timer that
+// already expired — but whose tick was never received — leaves the
+// stale tick in the channel, and the next select would see a phantom
+// expiry. Reset is only safe after the channel is known empty, which
+// depends on whether the previous arming (a) was stopped in time,
+// (b) expired and was received (the caller must say so via Fired), or
+// (c) expired unreceived (the tick must be drained). Getting this
+// wrong is easy and the bug is a heartbeat that fires immediately
+// after real traffic — hence one helper instead of an inline dance at
+// every call site.
+type heartbeatTimer struct {
+	t *time.Timer
+	// fired records that the caller received the tick of the current
+	// arming, i.e. the channel is empty even though Stop returns false.
+	fired bool
+}
+
+// newHeartbeatTimer returns a helper whose timer is not yet armed; call
+// Arm before each wait.
+func newHeartbeatTimer() *heartbeatTimer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &heartbeatTimer{t: t, fired: true}
+}
+
+// C returns the expiry channel. After receiving from it, the caller
+// must call Fired before the next Arm.
+func (h *heartbeatTimer) C() <-chan time.Time { return h.t.C }
+
+// Fired tells the helper the current arming's tick was received from C,
+// so the next Arm knows the channel is already empty.
+func (h *heartbeatTimer) Fired() { h.fired = true }
+
+// Arm schedules the timer d from now, stopping and draining any
+// previous arming so exactly zero or one tick is ever pending.
+func (h *heartbeatTimer) Arm(d time.Duration) {
+	if !h.t.Stop() && !h.fired {
+		// The previous arming expired but its tick was never received:
+		// drain it so Reset cannot leave a stale expiry pending. The
+		// drain is non-blocking because older runtimes may not have
+		// delivered the tick yet (and Go 1.23+ timers drop it on Stop).
+		select {
+		case <-h.t.C:
+		default:
+		}
+	}
+	h.fired = false
+	h.t.Reset(d)
+}
+
+// Stop releases the timer. The helper must not be used afterwards.
+func (h *heartbeatTimer) Stop() { h.t.Stop() }

@@ -1,0 +1,71 @@
+package api
+
+import (
+	"testing"
+	"time"
+)
+
+// The dance heartbeatTimer encapsulates has two hazardous histories:
+// (a) the previous arming expired and its tick was received (the caller
+// must say Fired, and Arm must not drain a tick that is not there), and
+// (b) the previous arming expired but the tick was never received
+// (a wakeup won the select) — Arm must drain the stale tick or the next
+// wait fires instantly.
+func TestHeartbeatTimerArmAfterReceivedTick(t *testing.T) {
+	hb := newHeartbeatTimer()
+	defer hb.Stop()
+
+	hb.Arm(time.Millisecond)
+	select {
+	case <-hb.C():
+		hb.Fired()
+	case <-time.After(5 * time.Second):
+		t.Fatal("armed timer never fired")
+	}
+
+	// Re-arm long: no stale tick may surface early.
+	hb.Arm(time.Hour)
+	select {
+	case tick := <-hb.C():
+		t.Fatalf("stale tick %v after re-arm", tick)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestHeartbeatTimerArmAfterUnreceivedExpiry(t *testing.T) {
+	hb := newHeartbeatTimer()
+	defer hb.Stop()
+
+	// Expire without receiving — the case the watch loop hits when a
+	// delta wakeup wins the select against a due heartbeat.
+	hb.Arm(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+
+	// The stale tick from the first arming must not leak into this one.
+	hb.Arm(time.Hour)
+	select {
+	case tick := <-hb.C():
+		t.Fatalf("stale tick %v leaked through re-arm", tick)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// And a real expiry still comes through.
+	hb.Arm(time.Millisecond)
+	select {
+	case <-hb.C():
+		hb.Fired()
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-armed timer never fired")
+	}
+}
+
+func TestHeartbeatTimerStopBeforeExpiry(t *testing.T) {
+	hb := newHeartbeatTimer()
+	hb.Arm(time.Hour)
+	hb.Stop()
+	select {
+	case tick := <-hb.C():
+		t.Fatalf("tick %v after Stop", tick)
+	case <-time.After(20 * time.Millisecond):
+	}
+}

@@ -206,8 +206,10 @@ var ServeMetrics = []ServeMetric{
 	{"DeferredReconciles", "spinner_deferred_reconciles_total", KindCounter, "Reconcile passes deferred by the degradation budget.", func(s *ServeSnapshot) int64 { return s.DeferredReconciles }},
 	{"FairnessPasses", "spinner_fairness_passes_total", KindCounter, "Deficit-round-robin passes over the tenant ring.", func(s *ServeSnapshot) int64 { return s.FairnessPasses }},
 	{"DeltasPublished", "spinner_deltas_published_total", KindCounter, "Delta records published into the change-feed ring.", func(s *ServeSnapshot) int64 { return s.DeltasPublished }},
+	{"DeltaEncodes", "spinner_delta_encodes_total", KindCounter, "EncodeDelta calls on the publish path (equals spinner_deltas_published_total under encode-once fan-out, independent of watch-stream count).", func(s *ServeSnapshot) int64 { return s.DeltaEncodes }},
 	{"WatchStreams", "spinner_watch_streams", KindGauge, "Currently open /v1/watch streams.", func(s *ServeSnapshot) int64 { return s.WatchStreams }},
 	{"WatchStreamsTotal", "spinner_watch_streams_total", KindCounter, "/v1/watch streams ever accepted.", func(s *ServeSnapshot) int64 { return s.WatchStreamsTotal }},
+	{"WatchBytesSent", "spinner_watch_bytes_sent_total", KindCounter, "Frame bytes written to /v1/watch streams.", func(s *ServeSnapshot) int64 { return s.WatchBytesSent }},
 	{"ReplicaFramesSent", "spinner_replica_frames_sent_total", KindCounter, "Replication stream frames pushed to followers.", func(s *ServeSnapshot) int64 { return s.ReplicaFramesSent }},
 	{"ReplicaBytesSent", "spinner_replica_bytes_sent_total", KindCounter, "Encoded bytes pushed over replication streams.", func(s *ServeSnapshot) int64 { return s.ReplicaBytesSent }},
 	{"ReplicaRecordsApplied", "spinner_replica_records_applied_total", KindCounter, "Leader journal records applied through the replicated apply path.", func(s *ServeSnapshot) int64 { return s.ReplicaRecordsApplied }},

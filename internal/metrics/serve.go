@@ -140,11 +140,19 @@ type ServeCounters struct {
 	// DeltasPublished counts Delta records published into the change-feed
 	// ring (baselines, barrier deltas and counter-only deltas).
 	DeltasPublished atomic.Int64
+	// DeltaEncodes counts EncodeDelta calls on the publish path. The
+	// encode-once fan-out invariant is DeltaEncodes == DeltasPublished
+	// no matter how many watch streams are attached: frames are memoized
+	// at publish time and shared by every stream.
+	DeltaEncodes atomic.Int64
 	// WatchStreams is a gauge of currently open /v1/watch streams:
 	// incremented when a stream is accepted, decremented when it closes.
 	WatchStreams atomic.Int64
 	// WatchStreamsTotal counts /v1/watch streams ever accepted.
 	WatchStreamsTotal atomic.Int64
+	// WatchBytesSent totals the frame bytes written to /v1/watch streams
+	// (handshakes, deltas, heartbeats and end frames).
+	WatchBytesSent atomic.Int64
 
 	// Replication path (internal/replica; zero unless replicating).
 
@@ -182,8 +190,9 @@ type ServeSnapshot struct {
 	JournalSyncs, Checkpoints               int64
 	CheckpointBytes, ReplayedRecords        int64
 	IncrCheckpointBytes, CheckpointRebases  int64
-	DeltasPublished, WatchStreams           int64
-	WatchStreamsTotal                       int64
+	DeltasPublished, DeltaEncodes           int64
+	WatchStreams, WatchStreamsTotal         int64
+	WatchBytesSent                          int64
 	GroupCommits, GroupedEntries            int64
 	ApplyCoalesces, CoalescedBatches        int64
 	CheckpointsPending                      int64
@@ -229,8 +238,10 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		IncrCheckpointBytes: c.IncrCheckpointBytes.Load(),
 		CheckpointRebases:   c.CheckpointRebases.Load(),
 		DeltasPublished:     c.DeltasPublished.Load(),
+		DeltaEncodes:        c.DeltaEncodes.Load(),
 		WatchStreams:        c.WatchStreams.Load(),
 		WatchStreamsTotal:   c.WatchStreamsTotal.Load(),
+		WatchBytesSent:      c.WatchBytesSent.Load(),
 
 		GroupCommits:     c.GroupCommits.Load(),
 		GroupedEntries:   c.GroupedEntries.Load(),
@@ -276,7 +287,7 @@ func (s ServeSnapshot) MeanStaleness() float64 {
 // String formats the headline serving counters on one line.
 func (s ServeSnapshot) String() string {
 	return fmt.Sprintf(
-		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, incr %dB, rebases %d, pending %d) replayed=%d deltas=%d watches=%d/%d quota-rej=%d shed=%d deferred=%d/%d fair=%d replica=%d/%dB (applied %d, fenced %d, reconnects %d, stale-503 %d)",
+		"lookups=%d (miss %d, staleness %.3f) batches=%d/%d (sub %d) edges=+%d/-%d verts=+%d swaps=%d restabs=%d (midrun %d, discarded %d) migrated=%d (weight %d) resizes=%d (seed-moved %d) reconciles=%d (drift %d, rebalanced %d) journal=%d (%dB, %d fsyncs) groups=%d (depth %.2f) coalesced=%d/%d ckpts=%d (%dB, incr %dB, rebases %d, pending %d) replayed=%d deltas=%d (enc %d) watches=%d/%d (%dB) quota-rej=%d shed=%d deferred=%d/%d fair=%d replica=%d/%dB (applied %d, fenced %d, reconnects %d, stale-503 %d)",
 		s.Lookups, s.LookupMisses, s.MeanStaleness(),
 		s.BatchesApplied, s.BatchesApplied+s.BatchesRejected, s.ShardBatches,
 		s.EdgesAdded, s.EdgesRemoved, s.VerticesAdded,
@@ -286,7 +297,8 @@ func (s ServeSnapshot) String() string {
 		s.JournalAppends, s.JournalBytes, s.JournalSyncs,
 		s.GroupCommits, s.GroupCommitDepth(), s.CoalescedBatches, s.ApplyCoalesces,
 		s.Checkpoints, s.CheckpointBytes, s.IncrCheckpointBytes, s.CheckpointRebases,
-		s.CheckpointsPending, s.ReplayedRecords, s.DeltasPublished, s.WatchStreams, s.WatchStreamsTotal,
+		s.CheckpointsPending, s.ReplayedRecords, s.DeltasPublished, s.DeltaEncodes,
+		s.WatchStreams, s.WatchStreamsTotal, s.WatchBytesSent,
 		s.QuotaRejections, s.ShedRequests, s.DeferredRestabs, s.DeferredReconciles,
 		s.FairnessPasses,
 		s.ReplicaFramesSent, s.ReplicaBytesSent, s.ReplicaRecordsApplied,

@@ -31,6 +31,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -239,83 +241,241 @@ func labelDiffRuns(old, new []int32) []LabelRun {
 	return runs
 }
 
+// hubEpoch anchors FramedDelta publication instants: storing a
+// time.Duration offset instead of a time.Time keeps the ring entry one
+// word smaller and monotonic-clock based (time.Since reads the
+// monotonic clock, so delivery latencies survive wall-clock jumps).
+var hubEpoch = time.Now()
+
+// FramedDelta is one retained publication with its canonical encodings
+// memoized at publish time: the Delta record plus the complete
+// CRC-framed /v1/watch frame (u8 kind | u32 len | u32 crc |
+// EncodeDelta payload). Framing is deterministic, so every watch stream
+// writes the same immutable Frame bytes — one encode and one CRC per
+// publication regardless of subscriber count. Consumers must treat
+// Frame (and everything Delta references) as read-only.
+type FramedDelta struct {
+	Delta *Delta
+	Frame []byte
+	pub   time.Duration // publication instant, offset from hubEpoch
+}
+
+// Payload returns the EncodeDelta bytes inside Frame (aliased, not
+// copied).
+func (f *FramedDelta) Payload() []byte { return f.Frame[watchHeader:] }
+
+// Elapsed returns the time since the delta was published — the fan-out
+// delivery latency when sampled right after writing Frame to a stream.
+// Zero for entries constructed outside a hub (tests).
+func (f *FramedDelta) Elapsed() time.Duration {
+	if f.pub == 0 {
+		return 0
+	}
+	return time.Since(hubEpoch) - f.pub
+}
+
+// deltaRing is one immutable ring snapshot: entries are contiguous and
+// ascending by Seq; entries[0].Delta.Seq is the compaction floor.
+// Readers load the current snapshot with one atomic pointer read and
+// index into it arithmetically — no lock, no coordination with
+// publishers. Successive snapshots share backing storage: publish
+// appends past the previous snapshot's length and compacts by slicing
+// off the front, so older snapshots never observe the write and the
+// per-publication copy cost is amortized O(1) instead of O(ring).
+type deltaRing struct {
+	entries []FramedDelta
+}
+
+// DeltaSub is one subscriber registration on the delta hub's broadcast
+// plane. C carries coalesced wakeups: publish puts at most one token in
+// the single-slot channel, so a subscriber that fell several
+// publications behind wakes once and drains the ring, and a publisher
+// never blocks on a slow subscriber. The publish ordering guarantee is:
+// the ring snapshot containing a delta is visible before its token is
+// sent, so "read the ring, then park on C" never misses a publication.
+type DeltaSub struct {
+	hub *deltaHub
+	c   chan struct{}
+}
+
+// C returns the coalesced wakeup channel.
+func (s *DeltaSub) C() <-chan struct{} { return s.c }
+
+// Cancel removes the registration. Safe to call more than once; the
+// channel is left open (a buffered token may still be pending).
+func (s *DeltaSub) Cancel() { s.hub.unsubscribe(s) }
+
 // deltaHub is the bounded publication ring. Publications come from the
 // coordinator (barrier events, exact) and from shard goroutines
-// (counter-only fast-path publications); the mutex serializes seq
-// assignment, and notify wakes long-polling watchers.
+// (counter-only fast-path publications); the mutex serializes
+// publishers only — readers go through the atomic ring snapshot and
+// the atomic next seq, so caught-up checks and catch-up reads never
+// contend with a publish, and a publish never stalls behind readers.
 type deltaHub struct {
-	mu     sync.Mutex
-	ring   []*Delta // contiguous, ascending Seq; ring[0].Seq is the floor
-	max    int
-	next   uint64        // seq the next publication gets
-	notify chan struct{} // closed and replaced on every publication
+	mu   sync.Mutex // serializes publishers; no reader ever takes it
+	max  int
+	ring atomic.Pointer[deltaRing]
+	next atomic.Uint64 // seq the next publication gets
+
+	// encodes counts EncodeDelta calls on the publish path — the
+	// "encode-once" invariant under test: it tracks publications, not
+	// subscribers.
+	encodes atomic.Int64
+
+	// subMu guards the subscriber set; it is taken by publish after the
+	// ring swap, and by subscribe/unsubscribe on stream open/close.
+	subMu sync.Mutex
+	subs  map[*DeltaSub]struct{}
+
+	// notify is the legacy close-and-replace broadcast channel, kept for
+	// DeltaNotify. Allocated lazily on first waitCh so stores whose
+	// watchers all use DeltaSub never pay the per-publication channel
+	// churn.
+	notifyMu sync.Mutex
+	notify   chan struct{}
 }
 
 func newDeltaHub(max int) *deltaHub {
-	return &deltaHub{max: max, next: 1, notify: make(chan struct{})}
+	h := &deltaHub{max: max}
+	h.next.Store(1)
+	return h
 }
 
-// publish assigns d its sequence, appends it, and compacts the ring.
+// publish assigns d its sequence, memoizes its encodings, swaps in the
+// new ring snapshot, and wakes subscribers. The caller must not mutate
+// d afterwards.
 func (h *deltaHub) publish(d *Delta) {
 	h.mu.Lock()
-	d.Seq = h.next
-	h.next++
-	h.ring = append(h.ring, d)
-	if len(h.ring) > h.max {
-		// Compaction: drop the oldest; copy down so the backing array
-		// does not pin dropped deltas.
-		n := copy(h.ring, h.ring[len(h.ring)-h.max:])
-		for i := n; i < len(h.ring); i++ {
-			h.ring[i] = nil
+	d.Seq = h.next.Load()
+	payload := EncodeDelta(d)
+	h.encodes.Add(1)
+	frame := make([]byte, 0, watchHeader+len(payload))
+	frame = AppendWatchFrame(frame, WatchFrame{Kind: WatchDelta, Delta: payload})
+	entry := FramedDelta{Delta: d, Frame: frame, pub: time.Since(hubEpoch)}
+	var keep []FramedDelta
+	if old := h.ring.Load(); old != nil {
+		keep = old.entries
+		if len(keep) >= h.max {
+			// Compaction: slice the oldest off the front. The backing
+			// array is shared with prior snapshots, so dropped entries
+			// stay pinned until append reallocates — bounded at roughly
+			// one ring's worth, the price of O(1) amortized publish.
+			keep = keep[len(keep)+1-h.max:]
 		}
-		h.ring = h.ring[:n]
 	}
-	ch := h.notify
-	h.notify = make(chan struct{})
+	// Appending writes at an index beyond every previously published
+	// snapshot's length, so concurrent readers of older snapshots never
+	// observe it; the ring swap is the sole publication point.
+	h.ring.Store(&deltaRing{entries: append(keep, entry)})
+	h.next.Add(1)
 	h.mu.Unlock()
-	close(ch)
+
+	h.notifyMu.Lock()
+	if h.notify != nil {
+		close(h.notify)
+		h.notify = nil
+	}
+	h.notifyMu.Unlock()
+
+	h.subMu.Lock()
+	for sub := range h.subs {
+		select {
+		case sub.c <- struct{}{}:
+		default: // wakeup already pending; coalesce
+		}
+	}
+	h.subMu.Unlock()
 }
 
 // bounds returns the compaction floor (seq of the oldest retained delta;
 // equals next when the ring is empty) and the next seq to be assigned.
+// Lock-free: the ring is loaded before next so floor <= next always
+// holds even when publications race the two reads.
 func (h *deltaHub) bounds() (floor, next uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.ring) == 0 {
-		return h.next, h.next
+	r := h.ring.Load()
+	next = h.next.Load()
+	if r == nil || len(r.entries) == 0 {
+		return next, next
 	}
-	return h.ring[0].Seq, h.next
+	return r.entries[0].Delta.Seq, next
 }
 
-// since returns up to max deltas with Seq > after, plus the floor. A
-// caller that finds ds[0].Seq != after+1 raced compaction and must
-// resync.
+// framedSince returns up to max retained entries with Seq > after, plus
+// the floor. The entries alias the hub's immutable snapshot — zero
+// copies, zero encodes; callers must not mutate them. A caller that
+// finds fds[0].Delta.Seq != after+1 raced compaction and must resync.
+func (h *deltaHub) framedSince(after uint64, max int) (fds []FramedDelta, floor uint64) {
+	r := h.ring.Load()
+	if r == nil || len(r.entries) == 0 {
+		return nil, h.next.Load()
+	}
+	ents := r.entries
+	floor = ents[0].Delta.Seq
+	if after+1 > floor {
+		// Seqs are dense and ascending, so the cursor's position is
+		// index arithmetic, not a scan.
+		skip := after + 1 - floor
+		if skip >= uint64(len(ents)) {
+			return nil, floor
+		}
+		ents = ents[skip:]
+	}
+	if max > 0 && len(ents) > max {
+		ents = ents[:max]
+	}
+	return ents, floor
+}
+
+// since is framedSince projected onto bare deltas, for consumers that
+// do not need the memoized frames.
 func (h *deltaHub) since(after uint64, max int) (ds []*Delta, floor uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	floor = h.next
-	if len(h.ring) > 0 {
-		floor = h.ring[0].Seq
-	}
-	i := 0
-	for i < len(h.ring) && h.ring[i].Seq <= after {
-		i++
-	}
-	j := len(h.ring)
-	if max > 0 && j-i > max {
-		j = i + max
-	}
-	if i < j {
-		ds = append(ds, h.ring[i:j]...)
+	fds, floor := h.framedSince(after, max)
+	if len(fds) > 0 {
+		ds = make([]*Delta, len(fds))
+		for i := range fds {
+			ds[i] = fds[i].Delta
+		}
 	}
 	return ds, floor
 }
 
-// waitCh returns the channel closed by the next publication.
+// waitCh returns a channel closed by the next publication — the legacy
+// single-channel broadcast. Each publication closes and discards it, so
+// every parked waiter wakes and re-calls waitCh (a thundering herd at
+// scale); high-fan-out consumers should use subscribe instead.
 func (h *deltaHub) waitCh() <-chan struct{} {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.notifyMu.Lock()
+	defer h.notifyMu.Unlock()
+	if h.notify == nil {
+		h.notify = make(chan struct{})
+	}
 	return h.notify
+}
+
+// subscribe registers a coalesced-wakeup subscriber.
+func (h *deltaHub) subscribe() *DeltaSub {
+	sub := &DeltaSub{hub: h, c: make(chan struct{}, 1)}
+	h.subMu.Lock()
+	if h.subs == nil {
+		h.subs = make(map[*DeltaSub]struct{})
+	}
+	h.subs[sub] = struct{}{}
+	h.subMu.Unlock()
+	return sub
+}
+
+func (h *deltaHub) unsubscribe(sub *DeltaSub) {
+	h.subMu.Lock()
+	delete(h.subs, sub)
+	h.subMu.Unlock()
+}
+
+// subscribers returns the current registration count (the
+// spinner_watch_subscribers gauge).
+func (h *deltaHub) subscribers() int {
+	h.subMu.Lock()
+	defer h.subMu.Unlock()
+	return len(h.subs)
 }
 
 // DeltaBounds returns the change feed's compaction floor (the oldest
@@ -331,8 +491,26 @@ func (s *Store) DeltasSince(after uint64, max int) ([]*Delta, uint64) {
 	return s.deltas.since(after, max)
 }
 
+// FramedDeltasSince is DeltasSince with the memoized watch-frame bytes:
+// up to max (0 = all) retained entries with Seq > after, plus the
+// floor. The returned entries alias the hub's immutable ring snapshot —
+// every caller shares the same Frame bytes and must not mutate them.
+// When the first entry's Seq is not after+1 the gap was compacted:
+// resync.
+func (s *Store) FramedDeltasSince(after uint64, max int) ([]FramedDelta, uint64) {
+	return s.deltas.framedSince(after, max)
+}
+
+// SubscribeDeltas registers a publication subscriber with a coalesced
+// single-slot wakeup channel — the scalable watch-stream hook (the
+// legacy DeltaNotify channel wakes every waiter on every publication).
+// Callers must Cancel when done.
+func (s *Store) SubscribeDeltas() *DeltaSub { return s.deltas.subscribe() }
+
 // DeltaNotify returns a channel closed by the next delta publication —
-// the long-poll hook the watch endpoint blocks on.
+// the legacy long-poll hook. Prefer SubscribeDeltas for long-lived
+// streams: this channel is re-allocated per publication and wakes all
+// waiters at once.
 func (s *Store) DeltaNotify() <-chan struct{} { return s.deltas.waitCh() }
 
 // emitBaselineDelta publishes the full-state delta every store starts its
@@ -354,6 +532,7 @@ func (s *Store) emitBaselineDelta() {
 	}
 	s.deltas.publish(d)
 	s.ctr.DeltasPublished.Add(1)
+	s.ctr.DeltaEncodes.Add(1)
 }
 
 // emitBarrierDelta publishes an exact delta from coordinator-owned state.
@@ -373,6 +552,7 @@ func (s *Store) emitBarrierDelta(runs []LabelRun, includeBounds bool) {
 	}
 	s.deltas.publish(d)
 	s.ctr.DeltasPublished.Add(1)
+	s.ctr.DeltaEncodes.Add(1)
 }
 
 // emitCounterDelta publishes a counter-only delta composed from the
@@ -393,4 +573,5 @@ func (s *Store) emitCounterDelta() {
 	}
 	s.deltas.publish(&Delta{Epoch: epoch, Cross: cross, Total: total})
 	s.ctr.DeltasPublished.Add(1)
+	s.ctr.DeltaEncodes.Add(1)
 }

@@ -2,7 +2,10 @@ package serve
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -54,6 +57,213 @@ func TestDeltaHubPublishCompactionAndBounds(t *testing.T) {
 	case <-ch:
 	default:
 		t.Fatal("notify not closed by publish")
+	}
+}
+
+// The tentpole invariant of the encode-once fan-out: the hub encodes
+// and frames each delta exactly once at publish time, and every reader
+// shares the same immutable frame bytes.
+func TestDeltaHubFramedSinceSharesMemoizedFrames(t *testing.T) {
+	h := newDeltaHub(8)
+	for i := 0; i < 5; i++ {
+		h.publish(&Delta{Cross: int64(i), Runs: []LabelRun{{Start: i, Labels: []int32{1, 2}}}})
+	}
+	if got := h.encodes.Load(); got != 5 {
+		t.Fatalf("encodes = %d after 5 publishes, want 5 (one per publication)", got)
+	}
+
+	a, floorA := h.framedSince(0, 0)
+	b, floorB := h.framedSince(0, 0)
+	if floorA != 1 || floorB != 1 || len(a) != 5 || len(b) != 5 {
+		t.Fatalf("framedSince(0) = %d/%d entries, floors %d/%d", len(a), len(b), floorA, floorB)
+	}
+	for i := range a {
+		if &a[i].Frame[0] != &b[i].Frame[0] {
+			t.Fatalf("entry %d: readers got distinct frame copies, want shared memoized bytes", i)
+		}
+	}
+	// Reading does not re-encode.
+	if got := h.encodes.Load(); got != 5 {
+		t.Fatalf("encodes = %d after reads, want 5", got)
+	}
+
+	// The memoized frame is byte-identical to framing the delta fresh —
+	// the unshared path a pre-memoization server would have produced.
+	for i, fd := range a {
+		want := AppendWatchFrame(nil, WatchFrame{Kind: WatchDelta, Delta: EncodeDelta(fd.Delta)})
+		if !bytes.Equal(fd.Frame, want) {
+			t.Fatalf("entry %d: memoized frame differs from freshly framed bytes", i)
+		}
+		f, n, err := DecodeWatchFrame(fd.Frame)
+		if err != nil || n != len(fd.Frame) || f.Kind != WatchDelta {
+			t.Fatalf("entry %d: memoized frame decode = kind %d, %d bytes, err %v", i, f.Kind, n, err)
+		}
+		if !bytes.Equal(f.Delta, fd.Payload()) {
+			t.Fatalf("entry %d: Payload() disagrees with decoded frame payload", i)
+		}
+		d, err := DecodeDelta(f.Delta)
+		if err != nil || d.Seq != fd.Delta.Seq {
+			t.Fatalf("entry %d: payload decodes to seq %d err %v, want %d", i, d.Seq, err, fd.Delta.Seq)
+		}
+	}
+
+	// framedSince matches since on cursor/max/gap semantics.
+	fds, floor := h.framedSince(2, 2)
+	if floor != 1 || len(fds) != 2 || fds[0].Delta.Seq != 3 || fds[1].Delta.Seq != 4 {
+		t.Fatalf("framedSince(2, max 2) = %d entries starting %d, floor %d", len(fds), fds[0].Delta.Seq, floor)
+	}
+	if fds, _ := h.framedSince(5, 0); len(fds) != 0 {
+		t.Fatalf("caught-up framedSince = %d entries, want 0", len(fds))
+	}
+}
+
+// Broadcast semantics: a subscriber gets exactly one coalesced wakeup
+// token no matter how many publications it slept through, publish never
+// blocks on a full slot, and Cancel removes the registration.
+func TestDeltaHubSubscribeCoalescedWakeups(t *testing.T) {
+	h := newDeltaHub(8)
+	sub := h.subscribe()
+	if n := h.subscribers(); n != 1 {
+		t.Fatalf("subscribers = %d, want 1", n)
+	}
+	select {
+	case <-sub.C():
+		t.Fatal("wakeup token before any publish")
+	default:
+	}
+
+	for i := 0; i < 3; i++ {
+		h.publish(&Delta{})
+	}
+	select {
+	case <-sub.C():
+	default:
+		t.Fatal("no wakeup token after publishes")
+	}
+	// Coalesced: three publications left exactly one token.
+	select {
+	case <-sub.C():
+		t.Fatal("second token pending; wakeups must coalesce into one slot")
+	default:
+	}
+
+	// The ordering contract: ring first, then token — so after draining
+	// the token, the published deltas are already readable.
+	h.publish(&Delta{})
+	<-sub.C()
+	if fds, _ := h.framedSince(3, 0); len(fds) != 1 || fds[0].Delta.Seq != 4 {
+		t.Fatalf("post-wakeup read = %d entries, want seq 4", len(fds))
+	}
+
+	sub.Cancel()
+	if n := h.subscribers(); n != 0 {
+		t.Fatalf("subscribers = %d after Cancel, want 0", n)
+	}
+	h.publish(&Delta{})
+	select {
+	case <-sub.C():
+		t.Fatal("cancelled subscriber still woken")
+	default:
+	}
+	sub.Cancel() // idempotent
+}
+
+// Subscribe/unsubscribe churn racing live publications (run with -race):
+// every subscriber that parks after reading the ring is woken for
+// publications it has not seen, and concurrent readers always observe
+// dense ascending sequences inside one snapshot read.
+func TestDeltaHubBroadcastUnderConcurrentPublish(t *testing.T) {
+	const (
+		publishers   = 4
+		perPublisher = 300
+		subscribers  = 8
+	)
+	h := newDeltaHub(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				h.publish(&Delta{Cross: int64(p*perPublisher + i)})
+			}
+		}(p)
+	}
+
+	errs := make(chan error, subscribers)
+	for s := 0; s < subscribers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Churn the registration: resubscribe every few drains.
+			sub := h.subscribe()
+			defer func() { sub.Cancel() }()
+			cursor := uint64(0)
+			drains := 0
+			for {
+				fds, floor := h.framedSince(cursor, 0)
+				if len(fds) == 0 {
+					if cursor+1 >= h.next.Load() {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+					}
+					select {
+					case <-sub.C():
+					case <-stop:
+						return
+					}
+					continue
+				}
+				if fds[0].Delta.Seq != cursor+1 && fds[0].Delta.Seq != floor {
+					errs <- fmt.Errorf("read started at %d, cursor %d, floor %d", fds[0].Delta.Seq, cursor, floor)
+					return
+				}
+				for i := 1; i < len(fds); i++ {
+					if fds[i].Delta.Seq != fds[i-1].Delta.Seq+1 {
+						errs <- fmt.Errorf("non-dense batch: %d then %d", fds[i-1].Delta.Seq, fds[i].Delta.Seq)
+						return
+					}
+				}
+				cursor = fds[len(fds)-1].Delta.Seq
+				if drains++; drains%5 == 0 {
+					sub.Cancel()
+					sub = h.subscribe()
+				}
+			}
+		}()
+	}
+
+	// Publishers finish first; then release the subscribers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if h.next.Load() == publishers*perPublisher+1 {
+			break
+		}
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := h.subscribers(); n != 0 {
+		t.Fatalf("subscribers = %d after all cancelled, want 0", n)
+	}
+	floor, next := h.bounds()
+	if next != publishers*perPublisher+1 || floor != next-64 {
+		t.Fatalf("final bounds [%d, %d), want [%d, %d)", floor, next, next-64, publishers*perPublisher+1)
 	}
 }
 

@@ -1,0 +1,120 @@
+package serve
+
+// The /v1/watch wire format reuses the CRC frame discipline of the
+// replication stream (internal/replica): every frame is
+//
+//	u8 kind | u32 payload len | u32 CRC-32C(payload) | payload
+//
+// kinds: handshake (1, opens every stream), delta (2, one encoded
+// serve.Delta — see EncodeDelta), heartbeat (3, keeps an idle
+// consumer's view of the compaction floor honest), end (4, closes a
+// stream whose cursor compaction overtook mid-flight — "resync, this
+// was not a dropped connection"). Handshake, heartbeat and end payloads
+// are u64 floor | u64 next: the server's oldest retained delta sequence
+// and the next sequence it will assign, so a consumer can tell "caught
+// up" (cursor == next-1) from "falling toward the floor" without a
+// second request.
+//
+// The codec lives in serve (not internal/api, which re-exports it) so
+// the delta hub can memoize fully framed bytes at publish time: framing
+// is deterministic, so one AppendWatchFrame per publication serves
+// every watch stream with the byte-identical frame.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Watch stream frame kinds.
+const (
+	// WatchHandshake opens a stream: the current floor and next delta
+	// sequence, sent before any deltas.
+	WatchHandshake byte = 1
+	// WatchDelta carries one encoded delta record (EncodeDelta).
+	WatchDelta byte = 2
+	// WatchHeartbeat refreshes floor/next during idle periods.
+	WatchHeartbeat byte = 3
+	// WatchEnd terminates a stream whose cursor was compacted away
+	// mid-stream (the consumer fell a full ring behind). It carries the
+	// new floor/next; the consumer must resync via /v1/lookup rather
+	// than treat the close as a transient network failure.
+	WatchEnd byte = 4
+)
+
+const (
+	watchHeader   = 9  // u8 kind + u32 len + u32 crc
+	watchFixed    = 16 // u64 floor + u64 next
+	maxWatchFrame = 1 << 28
+)
+
+var watchCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrShortFrame reports that a buffer holds only a prefix of a frame:
+// read more bytes and retry. Every other decode error is corruption (or
+// a version skew) and must drop the connection.
+var ErrShortFrame = errors.New("serve: short watch frame")
+
+// WatchFrame is one decoded /v1/watch stream frame.
+type WatchFrame struct {
+	Kind  byte
+	Floor uint64 // handshake/heartbeat/end: oldest retained delta seq
+	Next  uint64 // handshake/heartbeat/end: next delta seq to be assigned
+	Delta []byte // WatchDelta only: EncodeDelta payload
+}
+
+// AppendWatchFrame encodes f onto dst and returns the extended slice.
+func AppendWatchFrame(dst []byte, f WatchFrame) []byte {
+	start := len(dst)
+	dst = append(dst, f.Kind, 0, 0, 0, 0, 0, 0, 0, 0)
+	if f.Kind == WatchDelta {
+		dst = append(dst, f.Delta...)
+	} else {
+		dst = binary.LittleEndian.AppendUint64(dst, f.Floor)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Next)
+	}
+	payload := dst[start+watchHeader:]
+	binary.LittleEndian.PutUint32(dst[start+1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+5:], crc32.Checksum(payload, watchCRC))
+	return dst
+}
+
+// DecodeWatchFrame parses one frame from the front of b, returning it
+// and the number of bytes consumed. ErrShortFrame means b ends mid-frame
+// (a torn read — wait for more bytes); any other error means the bytes
+// can never parse and the stream must be abandoned. Delta aliases b.
+func DecodeWatchFrame(b []byte) (WatchFrame, int, error) {
+	if len(b) < watchHeader {
+		return WatchFrame{}, 0, ErrShortFrame
+	}
+	kind := b[0]
+	if kind < WatchHandshake || kind > WatchEnd {
+		return WatchFrame{}, 0, fmt.Errorf("serve: unknown watch frame kind %d", kind)
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:]))
+	if n < 0 || n > maxWatchFrame {
+		return WatchFrame{}, 0, fmt.Errorf("serve: watch frame payload of %d bytes", n)
+	}
+	if kind != WatchDelta && n != watchFixed {
+		return WatchFrame{}, 0, fmt.Errorf("serve: %d-byte payload on control frame kind %d", n, kind)
+	}
+	if len(b) < watchHeader+n {
+		return WatchFrame{}, 0, ErrShortFrame
+	}
+	payload := b[watchHeader : watchHeader+n]
+	if crc32.Checksum(payload, watchCRC) != binary.LittleEndian.Uint32(b[5:]) {
+		return WatchFrame{}, 0, errors.New("serve: watch frame fails CRC")
+	}
+	f := WatchFrame{Kind: kind}
+	if kind == WatchDelta {
+		if n == 0 {
+			return WatchFrame{}, 0, errors.New("serve: empty delta frame")
+		}
+		f.Delta = payload
+	} else {
+		f.Floor = binary.LittleEndian.Uint64(payload)
+		f.Next = binary.LittleEndian.Uint64(payload[8:])
+	}
+	return f, watchHeader + n, nil
+}

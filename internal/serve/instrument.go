@@ -56,6 +56,11 @@ func (s *Store) initMetrics() {
 		"Sampled lookup latency (one in Config.LookupSampleEvery lookups is timed).",
 		metrics.UnitSeconds,
 	)
+	s.reg.NewGaugeFunc(
+		"spinner_watch_subscribers",
+		"Delta-hub broadcast registrations (watch streams currently parked on or draining the change feed).",
+		func() float64 { return float64(s.deltas.subscribers()) },
+	)
 	// Sampling mask: a lookup is timed when its Lookups-counter value has
 	// all mask bits zero, i.e. one in every (mask+1) lookups. The counter
 	// starts at 1, so the all-ones disabled mask matches (practically)

@@ -71,11 +71,16 @@ RECORD=$(awk -v label="$LABEL" -v bench="$BENCH" -v gover="$(go version | awk '{
   # Match the benchmark and its sub-benchmarks: Bench, Bench-8, Bench/sub=x-8.
   $1 ~ "^" bench "(/[^ ]*)?(-[0-9]+)?$" {
     name[n] = $1; sub(/-[0-9]+$/, "", name[n])
-    ns[n] = 0; bytes[n] = 0; allocs[n] = 0
+    ns[n] = 0; bytes[n] = 0; allocs[n] = 0; extra[n] = ""
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op") ns[n] = $(i-1)
       else if ($i == "B/op") bytes[n] = $(i-1)
       else if ($i == "allocs/op") allocs[n] = $(i-1)
+      else if ($i ~ /\/op$/) {
+        # Custom b.ReportMetric units (encodes/op, p99-delivery-ns/op, ...)
+        key = $i; gsub(/[^A-Za-z0-9]/, "_", key)
+        extra[n] = extra[n] sprintf(", \"%s\": %s", key, $(i-1))
+      }
     }
     n++
   }
@@ -85,7 +90,7 @@ RECORD=$(awk -v label="$LABEL" -v bench="$BENCH" -v gover="$(go version | awk '{
     sns = 0; sb = 0; sa = 0
     for (i = 0; i < n; i++) {
       if (i) printf ", "
-      printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name[i], ns[i], bytes[i], allocs[i]
+      printf "{\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", name[i], ns[i], bytes[i], allocs[i], extra[i]
       sns += ns[i]; sb += bytes[i]; sa += allocs[i]
     }
     printf "], \"mean\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}}", sns/n, sb/n, sa/n

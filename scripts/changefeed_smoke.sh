@@ -13,8 +13,13 @@
 #      the change feed, falling back to the /v1/lookup resync when its
 #      cursor is compacted out of the small ring (the documented 410
 #      path) — converges to exactly the `spinnerctl labels` lookup truth;
-#   3. the churn forced delta checkpoints (.dckp files) onto disk;
-#   4. after a kill -9 mid-chain, a second spinnerd over the same data
+#   3. 50 concurrent watchers tailing the same cursor under churn all
+#      receive identical deltas (the encode-once fan-out), the server
+#      encoded each publication exactly once regardless of stream count
+#      (DeltaEncodes == DeltasPublished), and the WatchStreams gauge
+#      drains back to zero when they hang up;
+#   4. the churn forced delta checkpoints (.dckp files) onto disk;
+#   5. after a kill -9 mid-chain, a second spinnerd over the same data
 #      dir recovers from the base checkpoint + delta chain, answers
 #      /healthz, reports zero cut drift, and the feed-vs-lookup
 #      convergence holds again on the recovered incarnation.
@@ -106,6 +111,52 @@ WATCHES=$(stat_field WatchStreamsTotal)
 PUBLISHED=$(stat_field DeltasPublished)
 [ "$WATCHES" -ge 2 ] || { echo "FAIL: WatchStreamsTotal=$WATCHES, want >= 2" >&2; exit 1; }
 [ "$PUBLISHED" -ge 32 ] || { echo "FAIL: DeltasPublished=$PUBLISHED, want >= 32" >&2; exit 1; }
+
+echo "== fan-out: 50 concurrent watchers under churn see identical deltas"
+# All watchers tail from the same cursor while mutations churn the ring
+# underneath (and compact it past older sequences). The encode-once
+# fan-out hands every stream the same memoized frames, so after
+# normalizing away the per-connection handshake line the outputs must be
+# byte-identical — and the server must have encoded each delta exactly
+# once no matter how many streams were attached.
+FROM=$(( $(stat_field delta_next) - 1 ))
+WDIR="$BINDIR/fanout"
+mkdir -p "$WDIR"
+WPIDS=()
+for i in $(seq 1 50); do
+  $CTL watch -from "$FROM" -count 5 > "$WDIR/w$i.out" &
+  WPIDS+=("$!")
+done
+sleep 1 # let the streams connect before churn compacts FROM away
+churn 10 41
+for p in "${WPIDS[@]}"; do wait "$p"; done
+for i in $(seq 1 50); do
+  grep '^seq=' "$WDIR/w$i.out" > "$WDIR/w$i.seqs" || true
+done
+for i in $(seq 2 50); do
+  diff -q "$WDIR/w1.seqs" "$WDIR/w$i.seqs" >/dev/null || {
+    echo "FAIL: watcher $i deltas differ from watcher 1 (fan-out not identical)" >&2
+    diff "$WDIR/w1.seqs" "$WDIR/w$i.seqs" | head >&2
+    exit 1
+  }
+done
+NSEQS=$(wc -l < "$WDIR/w1.seqs")
+[ "$NSEQS" -eq 5 ] || { echo "FAIL: watchers saw $NSEQS deltas, want 5" >&2; cat "$WDIR/w1.out" >&2; exit 1; }
+sleep 1 # drain the churn so the two counters are sampled at rest
+PUB=$(stat_field DeltasPublished)
+ENC=$(stat_field DeltaEncodes)
+[ "$PUB" = "$ENC" ] || { echo "FAIL: DeltaEncodes=$ENC != DeltasPublished=$PUB (encode-once broken)" >&2; exit 1; }
+for _ in $(seq 1 50); do
+  [ "$(stat_field WatchStreams)" = "0" ] && break
+  sleep 0.1
+done
+[ "$(stat_field WatchStreams)" = "0" ] || { echo "FAIL: WatchStreams gauge stuck at $(stat_field WatchStreams)" >&2; exit 1; }
+# And the feed still reconstructs lookup truth after the fan-out churn.
+$CTL feed-labels > "$BINDIR/feed-fanout.txt"
+$CTL labels > "$BINDIR/lookup-fanout.txt"
+diff -q "$BINDIR/feed-fanout.txt" "$BINDIR/lookup-fanout.txt" >/dev/null \
+  || { echo "FAIL: post-fan-out feed differs from lookup truth" >&2; exit 1; }
+echo "   50 watchers, identical frames, $ENC encodes for $PUB publications, streams drained"
 
 echo "== incremental checkpoints on disk"
 INCR_BYTES=$(stat_field IncrCheckpointBytes)
